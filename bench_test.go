@@ -1,0 +1,260 @@
+// Benchmarks: one per paper table/figure (regenerating the experiment at
+// reduced scale under testing.B), plus micro-benchmarks of the hot paths
+// (placement, routing, instance stepping, regression fitting) and ablation
+// benches for the design choices called out in DESIGN.md §6.
+package tapas_test
+
+import (
+	"io"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	tapas "github.com/tapas-sim/tapas"
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/core"
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/llm"
+	"github.com/tapas-sim/tapas/internal/power"
+	"github.com/tapas-sim/tapas/internal/regress"
+	"github.com/tapas-sim/tapas/internal/sim"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// benchScale keeps per-iteration cost low; cmd/tapas-bench runs paper scale.
+const benchScale = 0.1
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := tapas.RunExperiment(id, benchScale, 42, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one bench per table/figure -------------------------------------------
+
+func BenchmarkTable1ConfigImpact(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkFig1LayoutHeatmap(b *testing.B)       { benchExperiment(b, "fig1") }
+func BenchmarkFig2InletTimeline(b *testing.B)       { benchExperiment(b, "fig2") }
+func BenchmarkFig3InletRegression(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig4SpatialDistribution(b *testing.B) { benchExperiment(b, "fig4") }
+func BenchmarkFig5LoadRegression(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6GPUTimeline(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7GPUTempRegression(b *testing.B)   { benchExperiment(b, "fig7") }
+func BenchmarkFig8GPUHeterogeneity(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9TempCDF(b *testing.B)             { benchExperiment(b, "fig9") }
+func BenchmarkFig10RowPower(b *testing.B)           { benchExperiment(b, "fig10") }
+func BenchmarkFig11RandomPlacements(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12TraceCDFs(b *testing.B)          { benchExperiment(b, "fig12") }
+func BenchmarkFig13DiurnalPatterns(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14PredictionError(b *testing.B)    { benchExperiment(b, "fig14") }
+func BenchmarkFig15PhaseProfiles(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16ParetoFrontier(b *testing.B)     { benchExperiment(b, "fig16") }
+func BenchmarkFig18RealCluster(b *testing.B)        { benchExperiment(b, "fig18") }
+func BenchmarkFig19WeekSimulation(b *testing.B)     { benchExperiment(b, "fig19") }
+func BenchmarkFig20Ablation(b *testing.B)           { benchExperiment(b, "fig20") }
+func BenchmarkFig21Oversubscription(b *testing.B)   { benchExperiment(b, "fig21") }
+func BenchmarkTable2Emergencies(b *testing.B)       { benchExperiment(b, "table2") }
+
+// --- micro-benchmarks of hot paths ----------------------------------------
+
+func benchState(b *testing.B) *cluster.State {
+	b.Helper()
+	dc, err := layout.New(layout.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := trace.Generate(trace.WorkloadConfig{
+		Servers: len(dc.Servers), SaaSFraction: 0.5,
+		Duration: time.Hour, Endpoints: 3, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cluster.NewState(dc, w)
+}
+
+func BenchmarkTAPASPlacement(b *testing.B) {
+	st := benchState(b)
+	pol := core.NewFull()
+	if err := pol.Init(st); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm := st.VMs[i%len(st.VMs)]
+		if _, ok := pol.Place(st, vm); !ok {
+			b.Fatal("placement failed on an empty cluster")
+		}
+	}
+}
+
+func BenchmarkTAPASRouting(b *testing.B) {
+	st := benchState(b)
+	pol := core.NewFull()
+	if err := pol.Init(st); err != nil {
+		b.Fatal(err)
+	}
+	placed := 0
+	for i, vm := range st.VMs {
+		if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == 0 && placed < 20 {
+			if err := st.Place(i, placed); err != nil {
+				b.Fatal(err)
+			}
+			placed++
+		}
+	}
+	st.Tick = time.Minute
+	ep := st.Work.Endpoints[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Route(st, ep, 1e6, 2.5e5)
+	}
+}
+
+func BenchmarkInstanceStep(b *testing.B) {
+	spec := layout.Spec(layout.A100)
+	w := llm.DefaultWorkload()
+	in := llm.NewInstance(spec, llm.DefaultConfig(), w, llm.ComputeSLOs(spec, llm.DefaultConfig(), w))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.EnqueueBulk(1024, 256)
+		in.Step(time.Minute)
+	}
+}
+
+func BenchmarkEngineTick(b *testing.B) {
+	// Cost of one simulated minute across 80 servers under full TAPAS.
+	sc := sim.SmallScenario()
+	ticks := b.N
+	sc.Duration = time.Duration(ticks) * time.Minute
+	sc.Workload.Duration = sc.Duration
+	b.ResetTimer()
+	if _, err := sim.Run(sc, core.NewFull()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkOfflineProfiling(b *testing.B) {
+	dc, err := layout.New(layout.SmallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildProfiles(dc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPiecewiseSurfaceFit(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	zs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 40
+		ys[i] = rng.Float64()
+		zs[i] = 18 + 0.5*xs[i] + 2*ys[i] + rng.NormFloat64()*0.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regress.FitSurface(xs, ys, zs, []float64{15, 25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSimHour(b *testing.B) {
+	spec := layout.Spec(layout.A100)
+	w := llm.DefaultWorkload()
+	slos := llm.ComputeSLOs(spec, llm.DefaultConfig(), w)
+	rng := rand.New(rand.NewPCG(3, 4))
+	reqs := make([]llm.Request, 500)
+	at := time.Duration(0)
+	for i := range reqs {
+		reqs[i] = llm.Request{
+			ID: int64(i), Customer: rng.IntN(100),
+			PromptTokens: 512 + rng.IntN(1024), OutputTokens: 64 + rng.IntN(256),
+			Arrival: at,
+		}
+		at += time.Duration(rng.Float64() * float64(time.Second))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := llm.NewEngineSim(spec, llm.DefaultConfig())
+		e.Run(reqs, time.Hour, slos)
+	}
+}
+
+// --- ablation benches for DESIGN.md §6 design choices ----------------------
+
+// BenchmarkAblationRouterRiskFilter compares TAPAS with and without the
+// Route lever (the risk filter + headroom spreading) on the same scenario,
+// reporting the peak-power delta as a custom metric.
+func BenchmarkAblationRouterRiskFilter(b *testing.B) {
+	sc := sim.SmallScenario()
+	for i := 0; i < b.N; i++ {
+		withRoute, err := sim.Run(sc, core.New(core.Options{Place: true, Route: true, Config: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := sim.Run(sc, core.New(core.Options{Place: true, Config: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((1-withRoute.PeakPower()/without.PeakPower())*100, "peak%saved")
+	}
+}
+
+// BenchmarkAblationTemplatePercentile measures prediction conservatism of
+// P50 vs P99 templates (underprediction rate, Fig. 14 design choice).
+func BenchmarkAblationTemplatePercentile(b *testing.B) {
+	w, err := trace.Generate(trace.WorkloadConfig{
+		Servers: 100, SaaSFraction: 0, Duration: 14 * 24 * time.Hour, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var vm trace.VMSpec
+	for _, v := range w.VMs {
+		if v.Kind == trace.IaaS {
+			vm = v
+			break
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 14 * 24 * 6
+		series := make([]float64, total)
+		for k := range series {
+			series[k] = 1000 + 4000*vm.Load.At(time.Duration(k)*10*time.Minute)
+		}
+		week := total / 2
+		for _, pct := range []float64{50, 99} {
+			tpl, err := power.BuildTemplate(series[:week], 6, pct)
+			if err != nil {
+				b.Fatal(err)
+			}
+			errs := tpl.PredictionErrors(series[week:], 6)
+			under := 0
+			for _, e := range errs {
+				if e < 0 {
+					under++
+				}
+			}
+			b.ReportMetric(float64(under)/float64(len(errs))*100, "P"+itoa(int(pct))+"-under%")
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 50 {
+		return "50"
+	}
+	return "99"
+}

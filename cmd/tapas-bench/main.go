@@ -1,0 +1,52 @@
+// Command tapas-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tapas-bench -list
+//	tapas-bench -run fig19            # one experiment at paper scale
+//	tapas-bench -run all -scale 0.25  # everything, quarter scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	tapas "github.com/tapas-sim/tapas"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment ID to run, or 'all'")
+		scale = flag.Float64("scale", 1.0, "cluster/duration scale (1.0 = paper scale)")
+		seed  = flag.Uint64("seed", 42, "deterministic seed")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range tapas.ExperimentIDs() {
+			title, _ := tapas.ExperimentTitle(id)
+			fmt.Printf("  %-8s %s\n", id, title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun with: tapas-bench -run <id>|all [-scale 0.25]")
+		}
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = tapas.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := tapas.RunExperiment(id, *scale, *seed, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tapas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,99 @@
+// Command tapas-sim runs a single cluster simulation under a chosen policy
+// and prints a summary.
+//
+// Usage:
+//
+//	tapas-sim -policy tapas -hours 24 -mix 0.5 -oversub 0.2
+//	tapas-sim -policy baseline -failure power -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	tapas "github.com/tapas-sim/tapas"
+)
+
+func main() {
+	var (
+		policy  = flag.String("policy", "tapas", "baseline | tapas | any of place,route,config (comma separated)")
+		scale   = flag.String("scale", "small", "small (80 servers) | large (~1000 servers)")
+		hours   = flag.Float64("hours", 1, "simulated duration in hours")
+		mix     = flag.Float64("mix", 0.5, "SaaS fraction of the workload (0–1)")
+		oversub = flag.Float64("oversub", 0, "oversubscription ratio (0.4 = +40% racks)")
+		failure = flag.String("failure", "", "inject emergency: power | cooling")
+		seed    = flag.Uint64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	var sc tapas.Scenario
+	if *scale == "large" {
+		sc = tapas.LargeScenario()
+	} else {
+		sc = tapas.RealClusterScenario()
+	}
+	sc.Duration = time.Duration(*hours * float64(time.Hour))
+	sc.Workload.Duration = sc.Duration
+	sc.Workload.SaaSFraction = *mix
+	sc.Workload.Seed = *seed
+	sc.Oversubscribe = *oversub
+	switch *failure {
+	case "power":
+		sc.Failures = []tapas.FailureEvent{{Kind: tapas.PowerFailure, At: sc.Duration / 4, Duration: sc.Duration / 2}}
+	case "cooling":
+		sc.Failures = []tapas.FailureEvent{{Kind: tapas.CoolingFailure, At: sc.Duration / 4, Duration: sc.Duration / 2}}
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "tapas-sim: unknown failure %q\n", *failure)
+		os.Exit(2)
+	}
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapas-sim:", err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	res, err := tapas.Run(sc, pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapas-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("policy            %s\n", res.Policy)
+	fmt.Printf("simulated         %v at %v ticks (%d ticks, wall %v)\n",
+		sc.Duration, res.Tick, res.Ticks, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("max GPU temp      %.1f °C (P99 %.1f)\n", res.MaxTemp(), res.PercentileMaxTemp(99))
+	fmt.Printf("peak row power    %.1f kW (P99 %.1f)\n", res.PeakPower()/1000, res.PercentilePeakPower(99)/1000)
+	fmt.Printf("thermal capping   %.2f%% of server-time\n", res.ThrottleFrac()*100)
+	fmt.Printf("power capping     %.2f%% of server-time\n", res.PowerCapFrac()*100)
+	fmt.Printf("SaaS service rate %.3f, SLO violations %.2f%%, quality %.3f\n",
+		res.ServiceRate(), res.SLOViolationRate()*100, res.AvgQuality())
+	fmt.Printf("IaaS perf loss    %.1f%%\n", res.IaaSPerfLoss()*100)
+}
+
+func parsePolicy(s string) (tapas.Policy, error) {
+	switch s {
+	case "baseline":
+		return tapas.NewBaseline(), nil
+	case "tapas":
+		return tapas.NewTAPAS(), nil
+	}
+	var place, route, config bool
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "place":
+			place = true
+		case "route":
+			route = true
+		case "config":
+			config = true
+		default:
+			return nil, fmt.Errorf("unknown policy component %q", part)
+		}
+	}
+	return tapas.NewVariant(place, route, config), nil
+}

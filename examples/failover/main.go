@@ -1,0 +1,44 @@
+// Failover: inject a UPS failure (datacenter power capacity drops to 75%,
+// §5.4) during a peak-load hour and compare how the Baseline and TAPAS
+// absorb it (Table 2). The Baseline caps every server's frequency uniformly,
+// hurting opaque IaaS customers; TAPAS steers requests and reconfigures SaaS
+// instances (accepting a bounded quality dip) and shields IaaS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tapas "github.com/tapas-sim/tapas"
+)
+
+func main() {
+	run := func(pol tapas.Policy, fail bool) *tapas.Result {
+		sc := tapas.RealClusterScenario()
+		sc.Workload.DemandScale = 1.15 // peak-load window, as in the paper
+		sc.Workload.Occupancy = 0.97
+		if fail {
+			sc.Failures = []tapas.FailureEvent{{
+				Kind: tapas.PowerFailure, At: sc.Duration / 6, Duration: sc.Duration,
+			}}
+		}
+		res, err := tapas.Run(sc, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("UPS failure during a peak-load hour (capacity → 75%):")
+	fmt.Printf("%-10s %14s %14s %12s\n", "policy", "IaaS perf", "SaaS perf", "SaaS quality")
+	for _, mk := range []func() tapas.Policy{tapas.NewBaseline, tapas.NewTAPAS} {
+		normal := run(mk(), false)
+		failed := run(mk(), true)
+		saasPerf := failed.SaaSServedTokens/normal.SaaSServedTokens - 1
+		quality := failed.AvgQuality()/normal.AvgQuality() - 1
+		fmt.Printf("%-10s %13.1f%% %13.1f%% %11.1f%%\n",
+			failed.Policy, -failed.IaaSPerfLoss()*100, saasPerf*100, quality*100)
+	}
+	fmt.Println("\npaper Table 2 (power emergency): Baseline −35%/−28% perf at zero quality cost;")
+	fmt.Println("TAPAS holds IaaS at 0%, improves SaaS, trades ≤12% quality.")
+}

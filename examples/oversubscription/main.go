@@ -1,0 +1,34 @@
+// Oversubscription: add racks beyond the provisioned cooling/power envelopes
+// and measure how much of server-time spends under thermal or power capping,
+// Baseline vs TAPAS (Fig. 21). TAPAS's placement/routing/configuration keep
+// the fleet under the envelopes far longer, unlocking extra capacity at the
+// same infrastructure cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	tapas "github.com/tapas-sim/tapas"
+)
+
+func main() {
+	fmt.Printf("%-9s %9s %13s %12s %10s\n", "policy", "oversub%", "thermalCap%", "powerCap%", "service")
+	for _, ratio := range []float64{0, 0.2, 0.4} {
+		for _, mk := range []func() tapas.Policy{tapas.NewBaseline, tapas.NewTAPAS} {
+			sc := tapas.RealClusterScenario()
+			sc.Duration = 2 * time.Hour
+			sc.Workload.Duration = sc.Duration
+			sc.Oversubscribe = ratio
+			res, err := tapas.Run(sc, mk())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s %9.0f %13.2f %12.2f %10.3f\n",
+				res.Policy, ratio*100, res.ThrottleFrac()*100, res.PowerCapFrac()*100, res.ServiceRate())
+		}
+	}
+	fmt.Println("\npaper Fig. 21: Baseline starts capping beyond 20% oversubscription;")
+	fmt.Println("TAPAS supports up to 40% additional capacity with <0.7% capping.")
+}

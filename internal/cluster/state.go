@@ -1,0 +1,274 @@
+// Package cluster holds the mutable state of a simulated GPU cluster: which
+// VM occupies which server, the SaaS instances running on those VMs, and the
+// live telemetry (temperatures, power, airflow) that the simulator refreshes
+// every tick and that scheduling policies consume.
+//
+// Policies must only read the telemetry and learned models reachable from
+// State — never the layout heterogeneity ground truth.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/llm"
+	"github.com/tapas-sim/tapas/internal/power"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// VM is a placed (or pending) GPU VM.
+type VM struct {
+	Spec     trace.VMSpec
+	Server   int           // -1 while unplaced
+	Instance *llm.Instance // non-nil for placed SaaS VMs
+}
+
+// HistoryRes is the sensor aggregation interval (the paper's 10-minute
+// reporting granularity).
+const HistoryRes = 10 * time.Minute
+
+// State is the live cluster.
+type State struct {
+	DC      *layout.Datacenter
+	Spec    layout.GPUSpec
+	Work    *trace.Workload
+	Profile *llm.Profile
+	SLOs    llm.SLOs
+	Budget  *power.Budget
+
+	VMs      []*VM
+	ServerVM []int // server → VM index, or -1
+
+	// Telemetry, refreshed by the simulator each tick. Now is the
+	// simulation clock (governs VM arrivals/lifetimes); Wall additionally
+	// includes the scenario's time-of-day offset and drives load patterns.
+	Now              time.Duration
+	Wall             time.Duration
+	Tick             time.Duration
+	OutsideC         float64
+	DCLoadFrac       float64
+	ServerInletC     []float64
+	ServerPowerW     []float64
+	ServerLoadFrac   []float64
+	ServerAirflowCFM []float64
+	ServerFreqCap    []float64   // 1 = uncapped; lowered by capping
+	GPUPowerFrac     [][]float64 // per server, per GPU
+	GPUTempC         [][]float64
+	RowPowerW        []float64
+	AisleDemandCFM   []float64
+	AisleRecircC     []float64
+	// AirflowLimitFrac scales provisioned aisle airflow (0.9 during a
+	// cooling emergency).
+	AirflowLimitFrac float64
+
+	// Rolling history at HistoryRes for templates and placement prediction.
+	RowPowerHist    [][]float64
+	ServerInletHist [][]float64
+	// CustomerPeakLoad tracks the observed peak GPU load fraction per IaaS
+	// customer; EndpointPeakPerVM tracks peak per-VM token demand per
+	// endpoint. Placement uses these as the "same user / same endpoint"
+	// estimates of §4.1.
+	CustomerPeakLoad  map[int]float64
+	EndpointPeakPerVM map[int]float64
+
+	histAccum time.Duration
+}
+
+// NewState initializes cluster state for a datacenter and workload.
+func NewState(dc *layout.Datacenter, w *trace.Workload) *State {
+	spec := layout.Spec(dc.Config.GPU)
+	profile := llm.BuildProfile(spec, llm.DefaultWorkload())
+	n := len(dc.Servers)
+	st := &State{
+		DC:      dc,
+		Spec:    spec,
+		Work:    w,
+		Profile: profile,
+		SLOs:    profile.SLOs,
+		Budget:  power.NewBudget(dc),
+
+		ServerVM:         make([]int, n),
+		ServerInletC:     make([]float64, n),
+		ServerPowerW:     make([]float64, n),
+		ServerLoadFrac:   make([]float64, n),
+		ServerAirflowCFM: make([]float64, n),
+		ServerFreqCap:    make([]float64, n),
+		GPUPowerFrac:     make([][]float64, n),
+		GPUTempC:         make([][]float64, n),
+		RowPowerW:        make([]float64, len(dc.Rows)),
+		AisleDemandCFM:   make([]float64, len(dc.Aisles)),
+		AisleRecircC:     make([]float64, len(dc.Aisles)),
+		AirflowLimitFrac: 1,
+
+		RowPowerHist:      make([][]float64, len(dc.Rows)),
+		ServerInletHist:   make([][]float64, n),
+		CustomerPeakLoad:  make(map[int]float64),
+		EndpointPeakPerVM: make(map[int]float64),
+	}
+	for i := range st.ServerVM {
+		st.ServerVM[i] = -1
+		st.ServerFreqCap[i] = 1
+		st.GPUPowerFrac[i] = make([]float64, spec.GPUsPerServer)
+		st.GPUTempC[i] = make([]float64, spec.GPUsPerServer)
+	}
+	if w != nil {
+		st.VMs = make([]*VM, len(w.VMs))
+		for i := range w.VMs {
+			st.VMs[i] = &VM{Spec: w.VMs[i], Server: -1}
+		}
+	}
+	return st
+}
+
+// Place binds a VM to a free server; SaaS VMs get a serving instance at the
+// default configuration.
+func (st *State) Place(vmID, serverID int) error {
+	if vmID < 0 || vmID >= len(st.VMs) {
+		return fmt.Errorf("cluster: VM %d out of range", vmID)
+	}
+	if serverID < 0 || serverID >= len(st.ServerVM) {
+		return fmt.Errorf("cluster: server %d out of range", serverID)
+	}
+	if st.ServerVM[serverID] != -1 {
+		return fmt.Errorf("cluster: server %d already hosts VM %d", serverID, st.ServerVM[serverID])
+	}
+	vm := st.VMs[vmID]
+	if vm.Server != -1 {
+		return fmt.Errorf("cluster: VM %d already placed on server %d", vmID, vm.Server)
+	}
+	vm.Server = serverID
+	st.ServerVM[serverID] = vmID
+	if vm.Spec.Kind == trace.SaaS {
+		ep := st.Work.Endpoints[vm.Spec.Endpoint]
+		vm.Instance = llm.NewInstance(st.Spec, llm.DefaultConfig(), ep.Work, st.SLOs)
+	}
+	return nil
+}
+
+// Remove unbinds a VM from its server (VM departure).
+func (st *State) Remove(vmID int) {
+	vm := st.VMs[vmID]
+	if vm.Server >= 0 {
+		st.ServerVM[vm.Server] = -1
+		st.ServerFreqCap[vm.Server] = 1
+		vm.Server = -1
+	}
+	vm.Instance = nil
+}
+
+// FreeServers returns the IDs of unoccupied servers.
+func (st *State) FreeServers() []int {
+	var out []int
+	for id, vm := range st.ServerVM {
+		if vm == -1 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RowMix counts placed IaaS and SaaS VMs in a row.
+func (st *State) RowMix(row int) (iaas, saas int) {
+	for _, srv := range st.DC.Rows[row].Servers {
+		vmID := st.ServerVM[srv.ID]
+		if vmID == -1 {
+			continue
+		}
+		if st.VMs[vmID].Spec.Kind == trace.IaaS {
+			iaas++
+		} else {
+			saas++
+		}
+	}
+	return iaas, saas
+}
+
+// EndpointInstances returns the placed, serving VMs of an endpoint.
+func (st *State) EndpointInstances(endpoint int) []*VM {
+	var out []*VM
+	for _, vm := range st.VMs {
+		if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == endpoint && vm.Server >= 0 && vm.Instance != nil {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// AisleLimitCFM returns the effective provisioned airflow of an aisle under
+// the current cooling-emergency factor.
+func (st *State) AisleLimitCFM(aisle int) float64 {
+	return st.DC.Aisles[aisle].ProvAirflowCFM * st.AirflowLimitFrac
+}
+
+// RecordHistory appends the current telemetry to the rolling history when a
+// full HistoryRes interval has elapsed. Histories are bounded to four weeks.
+func (st *State) RecordHistory(dt time.Duration) {
+	st.histAccum += dt
+	if st.histAccum < HistoryRes {
+		return
+	}
+	st.histAccum = 0
+	const maxLen = 4 * 7 * 24 * 6 // four weeks at 10-minute resolution
+	for r := range st.RowPowerHist {
+		st.RowPowerHist[r] = appendBounded(st.RowPowerHist[r], st.RowPowerW[r], maxLen)
+	}
+	for s := range st.ServerInletHist {
+		st.ServerInletHist[s] = appendBounded(st.ServerInletHist[s], st.ServerInletC[s], maxLen)
+	}
+}
+
+func appendBounded(xs []float64, v float64, maxLen int) []float64 {
+	xs = append(xs, v)
+	if len(xs) > maxLen {
+		copy(xs, xs[len(xs)-maxLen:])
+		xs = xs[:maxLen]
+	}
+	return xs
+}
+
+// ObserveCustomerLoad updates the per-customer peak IaaS load estimate.
+func (st *State) ObserveCustomerLoad(customer int, loadFrac float64) {
+	if loadFrac > st.CustomerPeakLoad[customer] {
+		st.CustomerPeakLoad[customer] = loadFrac
+	}
+}
+
+// ObserveEndpointDemand updates the per-endpoint peak per-VM token demand.
+func (st *State) ObserveEndpointDemand(endpoint int, perVMTokens float64) {
+	if perVMTokens > st.EndpointPeakPerVM[endpoint] {
+		st.EndpointPeakPerVM[endpoint] = perVMTokens
+	}
+}
+
+// EstimateVMPeakLoad predicts the peak GPU load fraction a new VM will
+// impose, using same-customer / same-endpoint history and assuming peak
+// when history is insufficient (§4.1).
+func (st *State) EstimateVMPeakLoad(spec trace.VMSpec) float64 {
+	if spec.Kind == trace.IaaS {
+		if peak, ok := st.CustomerPeakLoad[spec.Customer]; ok {
+			return peak
+		}
+		return 1
+	}
+	ep := st.Work.Endpoints[spec.Endpoint]
+	if peak, ok := st.EndpointPeakPerVM[spec.Endpoint]; ok {
+		cap := capacityTokensPerSec(st, ep)
+		if cap > 0 {
+			f := peak / cap
+			if f > 1 {
+				f = 1
+			}
+			return f
+		}
+	}
+	return 1
+}
+
+func capacityTokensPerSec(st *State, ep trace.EndpointSpec) float64 {
+	e, ok := st.Profile.Entry(llm.DefaultConfig())
+	if !ok {
+		return 0
+	}
+	return e.Goodput
+}

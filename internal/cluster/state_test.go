@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+func newTestState(t *testing.T) *State {
+	t.Helper()
+	dc, err := layout.New(layout.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.Generate(trace.WorkloadConfig{
+		Servers: len(dc.Servers), SaaSFraction: 0.5,
+		Duration: 24 * time.Hour, Endpoints: 3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewState(dc, w)
+}
+
+func TestNewStateInitialization(t *testing.T) {
+	st := newTestState(t)
+	if len(st.ServerVM) != len(st.DC.Servers) {
+		t.Fatal("ServerVM size mismatch")
+	}
+	for _, vm := range st.ServerVM {
+		if vm != -1 {
+			t.Fatal("servers must start empty")
+		}
+	}
+	for _, cap := range st.ServerFreqCap {
+		if cap != 1 {
+			t.Fatal("servers must start uncapped")
+		}
+	}
+	if len(st.FreeServers()) != len(st.DC.Servers) {
+		t.Fatal("all servers must start free")
+	}
+	if st.AirflowLimitFrac != 1 {
+		t.Fatal("airflow limit must start at 1")
+	}
+}
+
+func TestPlaceAndRemove(t *testing.T) {
+	st := newTestState(t)
+	// Find one IaaS and one SaaS VM.
+	iaasID, saasID := -1, -1
+	for i, vm := range st.VMs {
+		if vm.Spec.Kind == trace.IaaS && iaasID == -1 {
+			iaasID = i
+		}
+		if vm.Spec.Kind == trace.SaaS && saasID == -1 {
+			saasID = i
+		}
+	}
+	if err := st.Place(iaasID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.VMs[iaasID].Instance != nil {
+		t.Error("IaaS VM must not get an instance")
+	}
+	if err := st.Place(saasID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st.VMs[saasID].Instance == nil {
+		t.Error("SaaS VM must get a serving instance")
+	}
+	// Double placement fails.
+	if err := st.Place(iaasID, 2); err == nil {
+		t.Error("placing an already-placed VM must fail")
+	}
+	if err := st.Place(saasID+1, 0); err == nil {
+		t.Error("placing onto an occupied server must fail")
+	}
+	// Out-of-range checks.
+	if err := st.Place(-1, 0); err == nil {
+		t.Error("negative VM must fail")
+	}
+	if err := st.Place(0, 99999); err == nil {
+		t.Error("out-of-range server must fail")
+	}
+	st.Remove(iaasID)
+	if st.ServerVM[0] != -1 || st.VMs[iaasID].Server != -1 {
+		t.Error("Remove must unbind")
+	}
+}
+
+func TestRowMix(t *testing.T) {
+	st := newTestState(t)
+	row0 := st.DC.Rows[0].Servers
+	placed := 0
+	for _, vm := range st.VMs {
+		if placed >= 4 {
+			break
+		}
+		if vm.Server == -1 {
+			vmID := vm.Spec.ID
+			if err := st.Place(vmID, row0[placed].ID); err != nil {
+				t.Fatal(err)
+			}
+			placed++
+		}
+	}
+	iaas, saas := st.RowMix(0)
+	if iaas+saas != 4 {
+		t.Errorf("row mix total = %d, want 4", iaas+saas)
+	}
+}
+
+func TestEndpointInstances(t *testing.T) {
+	st := newTestState(t)
+	count := 0
+	for i, vm := range st.VMs {
+		if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == 0 && count < 3 {
+			if err := st.Place(i, count); err != nil {
+				t.Fatal(err)
+			}
+			count++
+		}
+	}
+	got := st.EndpointInstances(0)
+	if len(got) != count {
+		t.Errorf("endpoint instances = %d, want %d", len(got), count)
+	}
+}
+
+func TestRecordHistoryDownsamples(t *testing.T) {
+	st := newTestState(t)
+	tick := time.Minute
+	for i := 0; i < 25; i++ {
+		st.RowPowerW[0] = float64(i)
+		st.RecordHistory(tick)
+	}
+	// 25 minutes at 10-minute resolution ⇒ 2 samples.
+	if len(st.RowPowerHist[0]) != 2 {
+		t.Errorf("history samples = %d, want 2", len(st.RowPowerHist[0]))
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	st := newTestState(t)
+	for i := 0; i < 5000; i++ {
+		st.RecordHistory(HistoryRes)
+	}
+	if n := len(st.RowPowerHist[0]); n > 4*7*24*6 {
+		t.Errorf("history grew to %d, want bounded", n)
+	}
+}
+
+func TestEstimateVMPeakLoad(t *testing.T) {
+	st := newTestState(t)
+	// Unknown customer ⇒ assume peak (§4.1).
+	unknown := trace.VMSpec{Kind: trace.IaaS, Customer: 999}
+	if got := st.EstimateVMPeakLoad(unknown); got != 1 {
+		t.Errorf("unknown customer estimate = %v, want 1", got)
+	}
+	st.ObserveCustomerLoad(7, 0.6)
+	st.ObserveCustomerLoad(7, 0.4) // peaks keep the max
+	known := trace.VMSpec{Kind: trace.IaaS, Customer: 7}
+	if got := st.EstimateVMPeakLoad(known); got != 0.6 {
+		t.Errorf("known customer estimate = %v, want 0.6", got)
+	}
+	// SaaS with no history ⇒ peak.
+	saas := trace.VMSpec{Kind: trace.SaaS, Endpoint: 0}
+	if got := st.EstimateVMPeakLoad(saas); got != 1 {
+		t.Errorf("unknown endpoint estimate = %v, want 1", got)
+	}
+	st.ObserveEndpointDemand(0, 100) // tiny demand vs capacity
+	if got := st.EstimateVMPeakLoad(saas); got >= 1 {
+		t.Errorf("known endpoint estimate = %v, want < 1", got)
+	}
+}
+
+func TestAisleLimitUnderEmergency(t *testing.T) {
+	st := newTestState(t)
+	normal := st.AisleLimitCFM(0)
+	st.AirflowLimitFrac = 0.9
+	if got := st.AisleLimitCFM(0); got != normal*0.9 {
+		t.Errorf("emergency aisle limit = %v, want %v", got, normal*0.9)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// allocator implements TAPAS workload placement (§4.1) as the three rules of
+// §4.5: a validator filtering aisles/rows that would exceed airflow or power
+// envelopes at predicted peak, a temperature preference (IaaS → cool
+// servers, SaaS → warm servers), and an IaaS/SaaS balance preference.
+type allocator struct {
+	prof *Profiles
+}
+
+// tempMargin keeps predicted GPU temperature this far below the throttle
+// threshold when admitting SaaS VMs onto warm servers.
+const tempMargin = 2.0
+
+func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
+	estLoad := st.EstimateVMPeakLoad(vm.Spec)
+	newPeakW := a.prof.Power.Predict(estLoad)
+	newPeakCFM := a.prof.Airflow.Predict(estLoad)
+	idleW := a.prof.Power.Predict(0)
+	idleCFM := a.prof.Airflow.Predict(0)
+
+	// Validator: predicted peak power per row / airflow per aisle with the
+	// candidate VM added. With under a week of history the paper assumes
+	// peak-load conditions, which is what EstimateVMPeakLoad degrades to.
+	rowPeakW := make([]float64, len(st.DC.Rows))
+	aislePeakCFM := make([]float64, len(st.DC.Aisles))
+	for _, srv := range st.DC.Servers {
+		load := 0.0
+		if vmID := st.ServerVM[srv.ID]; vmID != -1 {
+			load = st.EstimateVMPeakLoad(st.VMs[vmID].Spec)
+		}
+		rowPeakW[srv.Row] += a.prof.Power.Predict(load)
+		aislePeakCFM[srv.Aisle] += a.prof.Airflow.Predict(load)
+	}
+
+	// Predicted hottest-GPU temperature per free server at the VM's load,
+	// under reference hot conditions (placement is a long-horizon choice).
+	refOutside := st.OutsideC + 4
+	if refOutside < 30 {
+		refOutside = 30
+	}
+	type candidate struct {
+		server   int
+		predTemp float64
+		row      int
+	}
+	var cands []candidate
+	for id, occupant := range st.ServerVM {
+		if occupant != -1 {
+			continue
+		}
+		srv := st.DC.Servers[id]
+		if rowPeakW[srv.Row]-idleW+newPeakW > st.DC.Rows[srv.Row].ProvPowerW {
+			continue
+		}
+		if aislePeakCFM[srv.Aisle]-idleCFM+newPeakCFM > st.DC.Aisles[srv.Aisle].ProvAirflowCFM {
+			continue
+		}
+		inlet := a.prof.Inlet.Predict(id, refOutside, 0.8)
+		temp := 0.0
+		for g := range st.GPUTempC[id] {
+			if t := a.prof.GPUTemp.Predict(id, g, inlet, estLoad); t > temp {
+				temp = t
+			}
+		}
+		cands = append(cands, candidate{server: id, predTemp: temp, row: srv.Row})
+	}
+	if len(cands) == 0 {
+		return 0, false
+	}
+
+	// Temperature preference (rule 2). The "cold group" for a VM is the set
+	// of servers whose projected temperature — at the VM's own predicted
+	// load — is within coldBandC of the best achievable. IaaS VMs must land
+	// in their cold group, but take its *warmest* member, so the very
+	// coolest servers remain available for hotter customers arriving later
+	// (hotter VMs project hotter everywhere, hence get the cool hardware).
+	// SaaS VMs prefer the warmest server that stays safely below throttle.
+	minProj := cands[0].predTemp
+	for _, c := range cands[1:] {
+		if c.predTemp < minProj {
+			minProj = c.predTemp
+		}
+	}
+	throttleC := st.Spec.ThrottleTempC
+	inGroup := func(temp float64) bool {
+		if vm.Spec.Kind == trace.IaaS {
+			return temp <= minProj+coldBandC
+		}
+		return temp <= throttleC-tempMargin
+	}
+
+	best, bestScore := -1, 1<<30
+	bestTemp := 0.0
+	for _, c := range cands {
+		tempScore := 1
+		if inGroup(c.predTemp) {
+			tempScore = 0
+		}
+		// Power preference: avoid concentrating synchronous peaks — prefer
+		// rows whose predicted post-placement peak stays low (Insight #3:
+		// placement relieves hotspots and smooths power spikes).
+		peakFrac := (rowPeakW[c.row] - idleW + newPeakW) / st.DC.Rows[c.row].ProvPowerW
+		var powScore int
+		switch {
+		case peakFrac <= 0.75:
+			powScore = 0
+		case peakFrac <= 0.85:
+			powScore = 1
+		case peakFrac <= 0.95:
+			powScore = 2
+		default:
+			powScore = 3
+		}
+		// Balance preference (rule 3): prefer rows where this VM kind is
+		// under-represented. diff = other-kind count − same-kind count.
+		iaas, saas := st.RowMix(c.row)
+		var balScore int
+		diff := saas - iaas
+		if vm.Spec.Kind == trace.SaaS {
+			diff = iaas - saas
+		}
+		switch {
+		case diff > 1: // other kind heavy: adding here improves balance
+			balScore = 0
+		case diff >= -1: // balanced
+			balScore = 1
+		default: // already heavy in this kind
+			balScore = 2
+		}
+		score := tempScore*16 + powScore*4 + balScore
+		better := score < bestScore
+		if score == bestScore {
+			if tempScore == 0 {
+				// Within the preferred group take the warmest member (both
+				// kinds): it conserves the coolest servers.
+				better = c.predTemp > bestTemp
+			} else {
+				// Outside the group, degrade gracefully to the coolest.
+				better = c.predTemp < bestTemp
+			}
+		}
+		if better {
+			best, bestScore, bestTemp = c.server, score, c.predTemp
+		}
+	}
+	return best, best != -1
+}
+
+// coldBandC is the projected-temperature slack defining a VM's cold group.
+const coldBandC = 2.0

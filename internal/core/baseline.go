@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/power"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// Baseline is the thermal- and power-oblivious system of §5.1: traditional
+// packing VM placement (Protean-style), performance-only LLM request
+// routing (least queue), no instance reconfiguration, and uniform frequency
+// capping when limits are exceeded.
+type Baseline struct{}
+
+// NewBaseline returns the baseline policy.
+func NewBaseline() *Baseline { return &Baseline{} }
+
+// Name implements sim.Policy.
+func (*Baseline) Name() string { return "Baseline" }
+
+// Place packs VMs: it prefers the free server in the most-occupied row
+// (classic allocation keeps rows full to preserve large contiguous empty
+// capacity), oblivious to temperature and power.
+func (*Baseline) Place(st *cluster.State, vm *cluster.VM) (int, bool) {
+	bestServer, bestScore := -1, -1.0
+	for _, row := range st.DC.Rows {
+		occupied := 0
+		free := -1
+		for _, srv := range row.Servers {
+			if st.ServerVM[srv.ID] == -1 {
+				if free == -1 {
+					free = srv.ID
+				}
+			} else {
+				occupied++
+			}
+		}
+		if free == -1 {
+			continue
+		}
+		score := float64(occupied)
+		if score > bestScore {
+			bestScore, bestServer = score, free
+		}
+	}
+	if bestServer == -1 {
+		return 0, false
+	}
+	return bestServer, true
+}
+
+// Route distributes demand inversely to queue depth — the state-of-the-art
+// latency-optimizing load balancing the paper compares against, with no
+// awareness of temperature or power.
+func (*Baseline) Route(st *cluster.State, ep trace.EndpointSpec, prompt, output float64) {
+	insts := st.EndpointInstances(ep.ID)
+	weights := make([]float64, len(insts))
+	total := 0.0
+	for i, vm := range insts {
+		if vm.Instance.Reloading() {
+			continue
+		}
+		weights[i] = 1 / (1 + vm.Instance.DemandSeconds())
+		total += weights[i]
+	}
+	if total == 0 {
+		even := 1 / float64(len(insts))
+		for _, vm := range insts {
+			vm.Instance.EnqueueBulk(prompt*even, output*even)
+		}
+		return
+	}
+	for i, vm := range insts {
+		w := weights[i] / total
+		vm.Instance.EnqueueBulk(prompt*w, output*w)
+	}
+}
+
+// Configure does nothing: the baseline never reconfigures instances.
+func (*Baseline) Configure(*cluster.State) {}
+
+// CapRow applies a uniform frequency cap to every server in the row — the
+// homogeneous limit distribution of §2.2 that Table 2 shows costing up to
+// 35% performance.
+func (*Baseline) CapRow(st *cluster.State, row int, drawW, limitW float64) {
+	uniformCap(st, rowServerIDs(st, row), drawW, limitW)
+}
+
+// CapAisle applies a uniform frequency cap to both rows of the aisle to
+// bring airflow demand back under the AHU supply.
+func (*Baseline) CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM float64) {
+	ids := make([]int, 0, 80)
+	for _, srv := range st.DC.Aisles[aisle].Servers() {
+		ids = append(ids, srv.ID)
+	}
+	uniformCap(st, ids, demandCFM, limitCFM)
+}
+
+func rowServerIDs(st *cluster.State, row int) []int {
+	ids := make([]int, 0, len(st.DC.Rows[row].Servers))
+	for _, srv := range st.DC.Rows[row].Servers {
+		ids = append(ids, srv.ID)
+	}
+	return ids
+}
+
+// uniformCap lowers ServerFreqCap on all ids so the aggregate (power or
+// airflow, both ≈ linear in dynamic power) scales toward limit/draw. The
+// scale compounds into the existing caps: frequency only controls the GPU
+// dynamic share of server power, so a single application under-sheds and the
+// controller must keep pressing until the violation clears (the engine's
+// recovery hysteresis releases it afterwards).
+func uniformCap(st *cluster.State, ids []int, draw, limit float64) {
+	factor := power.UniformCapFactor(draw, limit)
+	freqScale := math.Pow(factor, 1/2.5)
+	for _, id := range ids {
+		st.ServerFreqCap[id] = math.Max(minFreqCap, st.ServerFreqCap[id]*freqScale)
+	}
+}
+
+// minFreqCap bounds capping at the hardware's minimum clock ratio.
+const minFreqCap = 0.3

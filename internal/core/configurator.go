@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/llm"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// configurator implements the TAPAS Instance Configurator (§4.3): per
+// instance it derives the allowable GPU power fraction (from the learned
+// thermal model), the allowable server power (from row power and aisle
+// airflow pressure), and a quality floor, then picks the configuration from
+// the offline LLM profile that maximizes goodput within those limits —
+// preferring the lowest-power configuration that still covers live demand,
+// and treating reload-requiring changes (TP, model size, quantization) as a
+// rate-limited last resort.
+type configurator struct {
+	prof        *Profiles
+	lastReload  map[int]time.Duration // VM id → sim time of last reload
+	rowPressure []int                 // consecutive ticks a row sat above target
+}
+
+const (
+	// budgetTarget keeps rows/aisles a bit under their limits so demand
+	// noise does not tip them over.
+	budgetTarget = 0.96
+	// demandMargin is the goodput headroom kept above live demand. Goodput
+	// is already evaluated at 80% occupancy, so a thin extra margin keeps
+	// SLOs safe while letting the configurator shed power at the shoulders
+	// of the diurnal curve.
+	demandMargin = 1.10
+	// reloadCooldown rate-limits model reloads per instance.
+	reloadCooldown = 10 * time.Minute
+	// emergencyQualityFloor is the lowest acceptable relative quality when
+	// shedding load during emergencies (§5.4 reports ≤12% average impact).
+	emergencyQualityFloor = 0.60
+	// configTempMargin keeps predicted GPU temperature below throttle.
+	configTempMargin = 3.0
+)
+
+func newConfigurator(prof *Profiles) *configurator {
+	return &configurator{prof: prof, lastReload: make(map[int]time.Duration)}
+}
+
+func (c *configurator) configure(st *cluster.State) {
+	emergency := st.Budget.Multiplier() < 1 || st.AirflowLimitFrac < 1
+	qualityFloor := 1.0
+	if emergency {
+		qualityFloor = emergencyQualityFloor
+	}
+
+	// Row and aisle pressure: the power scale each server in them must
+	// apply to bring the aggregate back under target.
+	if c.rowPressure == nil {
+		c.rowPressure = make([]int, len(st.DC.Rows))
+	}
+	rowScale := make([]float64, len(st.DC.Rows))
+	for row := range rowScale {
+		rowScale[row] = 1
+		target := st.Budget.RowLimitW(row) * budgetTarget
+		if draw := st.RowPowerW[row]; draw > target {
+			rowScale[row] = target / draw
+			c.rowPressure[row]++
+		} else {
+			c.rowPressure[row] = 0
+		}
+	}
+	aisleScale := make([]float64, len(st.DC.Aisles))
+	aisleFairW := make([]float64, len(st.DC.Aisles))
+	idleW := c.prof.Power.Predict(0)
+	for a := range aisleScale {
+		aisleScale[a] = 1
+		target := st.AisleLimitCFM(a) * budgetTarget
+		if demand := st.AisleDemandCFM[a]; demand > target {
+			aisleScale[a] = target / demand
+		}
+		// The server power that, fleet-wide in this aisle, would keep fan
+		// airflow at the provisioned target — the aisle analogue of the
+		// row fair share.
+		n := float64(len(st.DC.Aisles[a].Servers()))
+		perServerCFM := target / n
+		heatFrac := (perServerCFM - c.prof.Airflow.IdleCFM) / (c.prof.Airflow.MaxCFM - c.prof.Airflow.IdleCFM)
+		if heatFrac < 0 {
+			heatFrac = 0
+		}
+		aisleFairW[a] = idleW + heatFrac*(st.Spec.ServerTDPW-idleW)
+	}
+
+	tickSecs := st.Tick.Seconds()
+	tickNo := int(st.Now / st.Tick)
+	for _, vm := range st.VMs {
+		if vm.Spec.Kind != trace.SaaS || vm.Server < 0 || vm.Instance == nil {
+			continue
+		}
+		in := vm.Instance
+		if in.Reloading() {
+			continue
+		}
+		srv := st.DC.Servers[vm.Server]
+		scale := rowScale[srv.Row]
+		if s := aisleScale[srv.Aisle]; s < scale {
+			scale = s
+		}
+		// The per-iteration controller caches its decisions (§4.5); absent
+		// pressure or backlog, each instance is re-evaluated on a staggered
+		// cadence.
+		if scale >= 1 && !emergency && in.BacklogSecs <= 3 && (tickNo+vm.Spec.ID)%5 != 0 {
+			continue
+		}
+
+		// Server power ceiling: unconstrained while the row/aisle have
+		// slack; proportional squeeze otherwise — but never below the
+		// server's fair share of the row target, or already-frugal
+		// instances would ratchet down and never recover.
+		maxServerW := st.Spec.ServerTDPW
+		if scale < 1 {
+			maxServerW = st.ServerPowerW[vm.Server] * scale
+			fairShare := st.Budget.RowLimitW(srv.Row) * budgetTarget / float64(len(st.DC.Rows[srv.Row].Servers))
+			if af := aisleFairW[srv.Aisle]; af < fairShare {
+				fairShare = af
+			}
+			if maxServerW < fairShare {
+				maxServerW = fairShare
+			}
+		}
+
+		// Thermal ceiling: hottest GPU of the server binds the allowable
+		// power fraction at the current inlet (learned model inversion).
+		inlet := st.ServerInletC[vm.Server]
+		maxFrac := 1.0
+		for g := range st.GPUTempC[vm.Server] {
+			h := c.prof.GPUTemp.HeadroomPowerFrac(vm.Server, g, inlet, st.Spec.ThrottleTempC-configTempMargin)
+			if h < maxFrac {
+				maxFrac = h
+			}
+		}
+
+		required := in.TickEnqueued() / tickSecs * demandMargin
+		// TickEnqueued measures granted demand, which shrinks when the
+		// instance is downsized — a circular signal. Backlog is the
+		// corrective: while the queue is not draining, demand goodput no
+		// entry can satisfy, which makes pick fall through to the highest
+		// goodput available within limits.
+		if in.BacklogSecs > 3 {
+			required = math.Inf(1)
+		}
+		// Reload-class changes (TP, model size, quantization) are the last
+		// resort: only under persistent pressure or an emergency, and
+		// rate-limited per instance. Otherwise the search is restricted to
+		// free changes (frequency, batch).
+		reloadOK := emergency || c.rowPressure[srv.Row] >= 2
+		if reloadOK {
+			if last, seen := c.lastReload[vm.Spec.ID]; seen && st.Now-last < reloadCooldown {
+				reloadOK = false
+			}
+		}
+		entry, ok := c.pick(st.Profile, in.Config, maxFrac, maxServerW, qualityFloor, required, reloadOK)
+		if !ok || entry.Config == in.Config {
+			continue
+		}
+		if llm.ReconfigTime(in.Config, entry.Config) > 0 {
+			c.lastReload[vm.Spec.ID] = st.Now
+		}
+		in.Reconfigure(entry.Config)
+	}
+}
+
+// pick selects the operating point: among profile entries satisfying the
+// thermal/power limits, quality floor, and (when reloads are gated) the
+// no-reload restriction, the lowest-average-power entry whose goodput covers
+// required demand; when none covers it, the highest-goodput entry.
+func (c *configurator) pick(p *llm.Profile, cur llm.Config, maxFrac, maxServerW, qualityFloor, required float64, reloadOK bool) (llm.ProfileEntry, bool) {
+	feasible := func(e llm.ProfileEntry) bool {
+		return e.Goodput > 0 && e.Quality >= qualityFloor &&
+			e.PeakGPUPowerFrac <= maxFrac && e.PeakServerPowerW <= maxServerW &&
+			(reloadOK || llm.ReconfigTime(cur, e.Config) == 0)
+	}
+	var best llm.ProfileEntry
+	bestOK := false
+	for _, e := range p.Entries { // sorted by goodput descending
+		if !feasible(e) {
+			continue
+		}
+		if e.Goodput < required {
+			break // all later entries have even less goodput
+		}
+		// Among feasible entries prefer the highest quality — smaller
+		// models are used "only when necessary" (§5.4) — then the lowest
+		// average power, then the cheapest reconfiguration.
+		if !bestOK || e.Quality > best.Quality ||
+			(e.Quality == best.Quality && (e.AvgServerPowerW < best.AvgServerPowerW ||
+				(e.AvgServerPowerW == best.AvgServerPowerW && llm.ReconfigTime(cur, e.Config) < llm.ReconfigTime(cur, best.Config)))) {
+			best, bestOK = e, true
+		}
+	}
+	if bestOK {
+		return best, true
+	}
+	// Demand cannot be covered within limits: serve as much as possible
+	// with the highest-goodput feasible entry.
+	for _, e := range p.Entries {
+		if feasible(e) {
+			return e, true
+		}
+	}
+	return llm.ProfileEntry{}, false
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/sim"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+func TestMigratorMovesHotSaaSVM(t *testing.T) {
+	st, prof := newComponentState(t)
+	mig := newMigrator(prof)
+
+	// Find the server with the hottest GPU response and a cool alternative.
+	hot, cool := -1, -1
+	hotGain, coolGain := 0.0, 1e9
+	for _, srv := range st.DC.Servers {
+		hi := 0.0
+		for _, g := range srv.GPUTempGainC {
+			if g > hi {
+				hi = g
+			}
+		}
+		if hi > hotGain {
+			hotGain, hot = hi, srv.ID
+		}
+		if hi < coolGain {
+			coolGain, cool = hi, srv.ID
+		}
+	}
+	_ = cool
+	// Place a SaaS VM on the hottest server and make it look busy/hot.
+	var vm *cluster.VM
+	for i, v := range st.VMs {
+		if v.Spec.Kind == trace.SaaS {
+			if err := st.Place(i, hot); err != nil {
+				t.Fatal(err)
+			}
+			vm = v
+			break
+		}
+	}
+	st.ServerInletC[hot] = 28
+	for g := range st.GPUPowerFrac[hot] {
+		st.GPUPowerFrac[hot][g] = 0.95
+	}
+	st.Now = time.Hour
+
+	moves := mig.step(st)
+	if moves != 1 {
+		t.Fatalf("migrations = %d, want 1", moves)
+	}
+	if vm.Server == hot {
+		t.Fatal("VM still on the hottest server")
+	}
+	if vm.Instance == nil {
+		t.Fatal("instance lost across migration")
+	}
+	if st.ServerVM[hot] != -1 {
+		t.Fatal("old server not freed")
+	}
+	if st.ServerVM[vm.Server] != vm.Spec.ID {
+		t.Fatal("new server binding inconsistent")
+	}
+}
+
+func TestMigratorRateLimits(t *testing.T) {
+	st, prof := newComponentState(t)
+	mig := newMigrator(prof)
+	st.Now = time.Hour
+	_ = mig.step(st) // sets lastRun
+	st.Now = time.Hour + time.Minute
+	if got := mig.step(st); got != 0 {
+		t.Errorf("migrator ran again %v after the last round, want interval gating", time.Minute)
+	}
+}
+
+func TestMigratorNeverMovesIaaS(t *testing.T) {
+	st, prof := newComponentState(t)
+	mig := newMigrator(prof)
+	// Put an IaaS VM on the hottest server, fully loaded.
+	hot := 0
+	hotGain := 0.0
+	for _, srv := range st.DC.Servers {
+		for _, g := range srv.GPUTempGainC {
+			if g > hotGain {
+				hotGain, hot = g, srv.ID
+			}
+		}
+	}
+	var vmID int
+	for i, v := range st.VMs {
+		if v.Spec.Kind == trace.IaaS {
+			if err := st.Place(i, hot); err != nil {
+				t.Fatal(err)
+			}
+			vmID = i
+			break
+		}
+	}
+	st.ServerInletC[hot] = 30
+	for g := range st.GPUPowerFrac[hot] {
+		st.GPUPowerFrac[hot][g] = 1
+	}
+	st.Now = time.Hour
+	if got := mig.step(st); got != 0 {
+		t.Errorf("migrator moved an IaaS VM (%d moves)", got)
+	}
+	if st.VMs[vmID].Server != hot {
+		t.Error("IaaS VM relocated; live GPU migration is unsupported (§4.1)")
+	}
+}
+
+func TestMigrationsInFullRun(t *testing.T) {
+	// In a full TAPAS run migrations must not break invariants; count is
+	// scenario dependent and may be zero when placement is already good.
+	pol := NewFull()
+	sc := sim.SmallScenario()
+	sc.Duration = 2 * time.Hour
+	sc.Workload.Duration = sc.Duration
+	res, err := sim.Run(sc, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServiceRate() < 0.99 {
+		t.Errorf("service rate %.3f degraded with migration enabled", res.ServiceRate())
+	}
+	if pol.Migrations < 0 {
+		t.Fatal("negative migration count")
+	}
+}

@@ -1,0 +1,102 @@
+// Package core implements the paper's contribution: the TAPAS scheduling
+// framework (§4) — offline Profiles, the rule-based VM Allocator, the
+// thermal/power-aware request Router, and the Instance Configurator — plus
+// the thermal/power-oblivious Baseline (§5.1) and the six ablation variants
+// combining the three TAPAS levers.
+package core
+
+import (
+	"fmt"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/power"
+	"github.com/tapas-sim/tapas/internal/thermal"
+)
+
+// Profiles bundles the models TAPAS learns during the offline profiling
+// phase (§4.5): per-server inlet surfaces (Eq. 1), per-GPU temperature
+// models (Eq. 2), the shared airflow curve, and the server power polynomial.
+// The LLM configuration profile lives in cluster.State.Profile.
+type Profiles struct {
+	Inlet   *thermal.InletModel
+	GPUTemp *thermal.GPUTempModel
+	Airflow thermal.AirflowModel
+	Power   power.Model
+}
+
+// BuildProfiles runs the offline profiling phase against a datacenter: it
+// evaluates the physics over a grid of operating conditions — the benchmarks
+// and validation tests operators run at deployment time — and fits the
+// regression models the paper selects. The scheduling policies consume only
+// these fitted models, never the physics directly.
+func BuildProfiles(dc *layout.Datacenter) (*Profiles, error) {
+	spec := layout.Spec(dc.Config.GPU)
+
+	// Inlet model: sweep outside temperature and datacenter load.
+	outsides := []float64{0, 5, 10, 14, 16, 20, 24, 26, 30, 35, 40}
+	loads := []float64{0, 0.25, 0.5, 0.75, 1}
+	var inletSamples []thermal.InletSample
+	for _, o := range outsides {
+		for _, l := range loads {
+			s := thermal.InletSample{OutsideC: o, DCLoadFrac: l, InletC: make([]float64, len(dc.Servers))}
+			for i, srv := range dc.Servers {
+				s.InletC[i] = thermal.InletTemp(srv, o, l, 0)
+			}
+			inletSamples = append(inletSamples, s)
+		}
+	}
+	inletModel, err := thermal.FitInletModel(inletSamples, len(dc.Servers))
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling inlet model: %w", err)
+	}
+
+	// GPU temperature model: sweep inlet × GPU power per GPU.
+	inlets := []float64{18, 22, 26, 30}
+	fracs := []float64{0.1, 0.4, 0.7, 1.0}
+	var gpuSamples []thermal.GPUSample
+	for _, srv := range dc.Servers {
+		for g := 0; g < spec.GPUsPerServer; g++ {
+			for _, in := range inlets {
+				for _, f := range fracs {
+					gpuSamples = append(gpuSamples, thermal.GPUSample{
+						Server: srv.ID, GPU: g, InletC: in, PowerFrac: f,
+						TempC: thermal.GPUTemp(srv, g, in, f),
+					})
+				}
+			}
+		}
+	}
+	gpuModel, err := thermal.FitGPUTempModel(gpuSamples, len(dc.Servers), spec.GPUsPerServer)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling GPU temp model: %w", err)
+	}
+
+	// Airflow: idle, full, and intermediate fan measurements (§2.1).
+	afLoads := []float64{0, 0.25, 0.5, 0.75, 1}
+	afFlows := make([]float64, len(afLoads))
+	for i, l := range afLoads {
+		afFlows[i] = thermal.Airflow(spec, l)
+	}
+	airflowModel, err := thermal.FitAirflowModel(afLoads, afFlows)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling airflow model: %w", err)
+	}
+
+	// Server power polynomial over load.
+	var pLoads, pPowers []float64
+	for l := 0.0; l <= 1.001; l += 0.05 {
+		pLoads = append(pLoads, l)
+		pPowers = append(pPowers, power.ServerPowerAtUniformLoad(spec, l))
+	}
+	powerModel, err := power.FitModel(pLoads, pPowers)
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling power model: %w", err)
+	}
+
+	return &Profiles{
+		Inlet:   inletModel,
+		GPUTemp: gpuModel,
+		Airflow: airflowModel,
+		Power:   powerModel,
+	}, nil
+}

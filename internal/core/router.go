@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// router implements TAPAS request routing (§4.2): it estimates the risk of
+// violating the three operational limits — aisle airflow, row power, server
+// temperature — filters out instances with high violation risk, then applies
+// consolidation (fill warm instances first, letting others idle) followed by
+// headroom-proportional spreading. KV-cache affinity is approximated in the
+// fluid model by the stable consolidation order, which keeps a customer's
+// demand on the same instances across ticks.
+type router struct {
+	prof *Profiles
+}
+
+// riskGate is the utilization of a limit beyond which no further demand is
+// routed toward it.
+const riskGate = 0.97
+
+// routeHash mixes an endpoint and server ID into a stable consolidation
+// rank (splitmix64 finalizer).
+func routeHash(endpoint, server int) uint64 {
+	z := uint64(endpoint)*0x9e3779b97f4a7c15 + uint64(server)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output float64) {
+	insts := st.EndpointInstances(ep.ID)
+	if len(insts) == 0 {
+		return
+	}
+	type scored struct {
+		vm       *cluster.VM
+		headroom float64 // 0 = at risk
+		capacity float64 // tokens this tick
+	}
+	throttleC := st.Spec.ThrottleTempC
+	tickSecs := st.Tick.Seconds()
+	scoredInsts := make([]scored, 0, len(insts))
+	totalCap := 0.0
+	for _, vm := range insts {
+		in := vm.Instance
+		if in.Reloading() {
+			scoredInsts = append(scoredInsts, scored{vm: vm})
+			continue
+		}
+		srv := st.DC.Servers[vm.Server]
+		rowUse := st.RowPowerW[srv.Row] / (st.Budget.RowLimitW(srv.Row) + 1)
+		aisleUse := st.AisleDemandCFM[srv.Aisle] / (st.AisleLimitCFM(srv.Aisle) + 1)
+		maxTemp := 0.0
+		for _, t := range st.GPUTempC[vm.Server] {
+			if t > maxTemp {
+				maxTemp = t
+			}
+		}
+		tempUse := maxTemp / (throttleC - 2)
+		head := 1.0
+		for _, use := range []float64{rowUse, aisleUse, tempUse} {
+			if use >= riskGate {
+				head = 0
+				break
+			}
+			if h := (riskGate - use) / riskGate; h < head {
+				head = h
+			}
+		}
+		entry, ok := st.Profile.Entry(in.Config)
+		capTokens := 0.0
+		if ok {
+			capTokens = entry.Goodput * tickSecs
+		}
+		scoredInsts = append(scoredInsts, scored{vm: vm, headroom: head, capacity: capTokens})
+		totalCap += capTokens * head
+	}
+
+	demand := prompt + output
+	promptShare := prompt / demand
+	aggCap := 0.0
+	for _, s := range scoredInsts {
+		if s.headroom > 0 {
+			aggCap += s.capacity
+		}
+	}
+
+	// Low-load regime: consolidate onto a stable subset of safe instances
+	// (energy saving + KV-cache affinity: the same instances keep serving
+	// the same customers across ticks), letting the rest idle.
+	if demand < 0.5*aggCap {
+		order := make([]int, len(scoredInsts))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ia, ib := scoredInsts[order[a]], scoredInsts[order[b]]
+			if (ia.headroom > 0) != (ib.headroom > 0) {
+				return ia.headroom > 0
+			}
+			// Sticky toward instances already serving (KV reuse). Ties
+			// break on a per-endpoint hash of the server, which is stable
+			// across ticks (affinity) but decorrelated across endpoints —
+			// otherwise every endpoint would pile onto the same rows and
+			// oscillate against the shared telemetry.
+			ba, bb := ia.vm.Instance.BusyFrac > 0.15, ib.vm.Instance.BusyFrac > 0.15
+			if ba != bb {
+				return ba
+			}
+			return routeHash(ep.ID, ia.vm.Server) < routeHash(ep.ID, ib.vm.Server)
+		})
+		remaining := demand
+		for _, idx := range order {
+			if remaining <= 0 {
+				return
+			}
+			s := scoredInsts[idx]
+			if s.headroom <= 0.2 || s.capacity <= 0 {
+				continue
+			}
+			take := s.capacity * 0.6
+			if take > remaining {
+				take = remaining
+			}
+			s.vm.Instance.EnqueueBulk(take*promptShare, take*(1-promptShare))
+			remaining -= take
+		}
+		if remaining <= 0 {
+			return
+		}
+		demand = remaining // overflow falls through to spreading
+	}
+
+	// High-load regime: water-fill proportional to capacity × headroom², so
+	// instances on power- or thermally-stressed infrastructure receive
+	// quadratically less demand — but never grant any instance more than it
+	// can serve, redistributing the clamped excess over remaining slack.
+	grants := make([]float64, len(scoredInsts))
+	totalW := 0.0
+	for _, s := range scoredInsts {
+		totalW += s.capacity * s.headroom * s.headroom
+	}
+	remaining := demand
+	if totalW > 0 {
+		for i, s := range scoredInsts {
+			w := s.capacity * s.headroom * s.headroom / totalW
+			g := demand * w
+			if max := s.capacity * 0.95; g > max {
+				g = max
+			}
+			grants[i] = g
+			remaining -= g
+		}
+		// Second pass: pour the clamped excess into remaining serving slack.
+		if remaining > 1e-9 {
+			slackTotal := 0.0
+			for i, s := range scoredInsts {
+				if s.headroom > 0 {
+					slackTotal += maxf(s.capacity*0.95-grants[i], 0)
+				}
+			}
+			if slackTotal > 0 {
+				for i, s := range scoredInsts {
+					if s.headroom <= 0 {
+						continue
+					}
+					add := maxf(s.capacity*0.95-grants[i], 0) / slackTotal * remaining
+					if add > 0 {
+						grants[i] += add
+					}
+				}
+				remaining = 0
+			}
+		}
+	}
+	// Whatever still remains (fleet overloaded or everyone at risk) is
+	// split evenly — serving beats dropping.
+	if remaining > 1e-9 {
+		live := 0
+		for _, s := range scoredInsts {
+			if !s.vm.Instance.Reloading() {
+				live++
+			}
+		}
+		if live > 0 {
+			even := remaining / float64(live)
+			for i, s := range scoredInsts {
+				if !s.vm.Instance.Reloading() {
+					grants[i] += even
+				}
+			}
+		}
+	}
+	for i, s := range scoredInsts {
+		if grants[i] > 0 {
+			s.vm.Instance.EnqueueBulk(grants[i]*promptShare, grants[i]*(1-promptShare))
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

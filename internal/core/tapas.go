@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"strings"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// Options selects which TAPAS levers are active; all three is the full
+// system, none degenerates to the Baseline. The six partial combinations are
+// the paper's ablation variants (Fig. 20).
+type Options struct {
+	Place  bool
+	Route  bool
+	Config bool
+}
+
+// TAPAS is the thermal- and power-aware scheduling policy (§4).
+type TAPAS struct {
+	opts Options
+	base *Baseline
+
+	prof          *Profiles
+	alloc         *allocator
+	route         *router
+	config        *configurator
+	migrate       *migrator
+	rowOverRuns   []int // consecutive over-budget ticks per row
+	aisleOverRuns []int
+
+	// Migrations counts executed SaaS migrations (§4.1) for introspection.
+	Migrations int
+}
+
+// New builds a TAPAS policy (or ablation variant) with the given levers.
+func New(opts Options) *TAPAS {
+	return &TAPAS{opts: opts, base: NewBaseline()}
+}
+
+// NewFull returns the complete TAPAS system.
+func NewFull() *TAPAS { return New(Options{Place: true, Route: true, Config: true}) }
+
+// Name implements sim.Policy with the paper's variant naming.
+func (t *TAPAS) Name() string {
+	if t.opts == (Options{Place: true, Route: true, Config: true}) {
+		return "TAPAS"
+	}
+	var parts []string
+	if t.opts.Place {
+		parts = append(parts, "Place")
+	}
+	if t.opts.Route {
+		parts = append(parts, "Route")
+	}
+	if t.opts.Config {
+		parts = append(parts, "Config")
+	}
+	if len(parts) == 0 {
+		return "Baseline"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Init runs the offline profiling phase (§4.5) against the datacenter.
+func (t *TAPAS) Init(st *cluster.State) error {
+	prof, err := BuildProfiles(st.DC)
+	if err != nil {
+		return err
+	}
+	t.prof = prof
+	t.alloc = &allocator{prof: prof}
+	t.route = &router{prof: prof}
+	t.config = newConfigurator(prof)
+	t.migrate = newMigrator(prof)
+	t.rowOverRuns = make([]int, len(st.DC.Rows))
+	t.aisleOverRuns = make([]int, len(st.DC.Aisles))
+	return nil
+}
+
+// Place implements sim.Policy.
+func (t *TAPAS) Place(st *cluster.State, vm *cluster.VM) (int, bool) {
+	if !t.opts.Place {
+		return t.base.Place(st, vm)
+	}
+	if srv, ok := t.alloc.place(st, vm); ok {
+		return srv, true
+	}
+	// The validator found no compliant server; fall back to packing rather
+	// than rejecting capacity outright (the paper migrates/requeues; the
+	// fluid simulator retries next tick first).
+	return t.base.Place(st, vm)
+}
+
+// Route implements sim.Policy.
+func (t *TAPAS) Route(st *cluster.State, ep trace.EndpointSpec, prompt, output float64) {
+	if !t.opts.Route {
+		t.base.Route(st, ep, prompt, output)
+		return
+	}
+	t.route.route(st, ep, prompt, output)
+}
+
+// Configure implements sim.Policy. Besides the Instance Configurator it
+// applies proactive selective capping just under the row/aisle limits, so
+// oversubscribed fleets converge below the envelopes instead of oscillating
+// across them (Fig. 21's near-zero capping at 40% oversubscription).
+func (t *TAPAS) Configure(st *cluster.State) {
+	if t.opts.Place && t.migrate != nil {
+		t.Migrations += t.migrate.step(st)
+	}
+	if !t.opts.Config {
+		return
+	}
+	t.config.configure(st)
+	const proactive = 0.985
+	for row, draw := range st.RowPowerW {
+		limit := st.Budget.RowLimitW(row) * proactive
+		if draw > limit {
+			t.selectiveCap(st, rowServerIDs(st, row), draw-limit)
+		}
+	}
+	for a, demand := range st.AisleDemandCFM {
+		limit := st.AisleLimitCFM(a) * proactive
+		if demand <= limit {
+			continue
+		}
+		var ids []int
+		totalW := 0.0
+		for _, srv := range st.DC.Aisles[a].Servers() {
+			ids = append(ids, srv.ID)
+			totalW += st.ServerPowerW[srv.ID]
+		}
+		t.selectiveCap(st, ids, (demand-limit)/demand*totalW)
+	}
+}
+
+// CapRow implements sim.Policy. With the Config lever active, TAPAS first
+// lets the Instance Configurator shed SaaS power; only if the row stays over
+// budget on consecutive ticks does it cap — IaaS last, per §4.4's "regular
+// power capping techniques to the IaaS VMs" as the final resort.
+func (t *TAPAS) CapRow(st *cluster.State, row int, drawW, limitW float64) {
+	if !t.opts.Config {
+		t.base.CapRow(st, row, drawW, limitW)
+		return
+	}
+	t.rowOverRuns[row]++
+	if t.rowOverRuns[row] < 2 {
+		return // give the configurator one tick to react
+	}
+	ids := rowServerIDs(st, row)
+	t.selectiveCap(st, ids, drawW-limitW)
+}
+
+// CapAisle implements sim.Policy with the same selective escalation.
+func (t *TAPAS) CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM float64) {
+	if !t.opts.Config {
+		t.base.CapAisle(st, aisle, demandCFM, limitCFM)
+		return
+	}
+	t.aisleOverRuns[aisle]++
+	if t.aisleOverRuns[aisle] < 2 {
+		return
+	}
+	// Airflow tracks dynamic power; convert the CFM overdraw into a power
+	// shed target using the fleet-average W-per-CFM of the aisle.
+	var ids []int
+	totalW := 0.0
+	for _, srv := range st.DC.Aisles[aisle].Servers() {
+		ids = append(ids, srv.ID)
+		totalW += st.ServerPowerW[srv.ID]
+	}
+	shedW := (demandCFM - limitCFM) / demandCFM * totalW
+	t.selectiveCap(st, ids, shedW)
+}
+
+// selectiveCap sheds shedW watts from the given servers by capping IaaS
+// frequency, falling back to SaaS servers only if IaaS reduction cannot
+// cover the target.
+func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
+	if shedW <= 0 {
+		return
+	}
+	idleW := t.prof.Power.Predict(0)
+	var iaas, saas []int
+	iaasDynW := 0.0
+	for _, id := range ids {
+		vmID := st.ServerVM[id]
+		if vmID == -1 {
+			continue
+		}
+		if st.VMs[vmID].Spec.Kind == trace.IaaS {
+			iaas = append(iaas, id)
+			if d := st.ServerPowerW[id] - idleW; d > 0 {
+				iaasDynW += d
+			}
+		} else {
+			saas = append(saas, id)
+		}
+	}
+	headroomLeft := false
+	if iaasDynW > 0 {
+		factor := 1 - shedW/iaasDynW
+		if factor < 0 {
+			factor = 0
+		}
+		freqScale := math.Pow(math.Max(factor, 0.05), 1/2.5)
+		for _, id := range iaas {
+			// Compound: frequency only reaches the GPU dynamic share, so
+			// the controller presses until the violation clears.
+			next := math.Max(minFreqCap, st.ServerFreqCap[id]*freqScale)
+			if next < st.ServerFreqCap[id] {
+				st.ServerFreqCap[id] = next
+			}
+			if st.ServerFreqCap[id] > minFreqCap {
+				headroomLeft = true
+			}
+		}
+		if factor > 0 && headroomLeft {
+			return // IaaS capping still has room to cover the shed target
+		}
+		shedW -= iaasDynW
+	}
+	// Residual shed falls on SaaS servers.
+	saasDynW := 0.0
+	for _, id := range saas {
+		if d := st.ServerPowerW[id] - idleW; d > 0 {
+			saasDynW += d
+		}
+	}
+	if saasDynW <= 0 || shedW <= 0 {
+		return
+	}
+	factor := math.Max(1-shedW/saasDynW, 0.05)
+	freqScale := math.Pow(factor, 1/2.5)
+	for _, id := range saas {
+		st.ServerFreqCap[id] = math.Max(minFreqCap, st.ServerFreqCap[id]*freqScale)
+	}
+}
+
+// ResetOverruns clears the consecutive-violation counters when a row/aisle
+// returns under budget. The simulator does not call this; runs are short
+// enough that monotone counters with the capRecovery decay suffice — but
+// exposing it keeps long-horizon users correct.
+func (t *TAPAS) ResetOverruns() {
+	for i := range t.rowOverRuns {
+		t.rowOverRuns[i] = 0
+	}
+	for i := range t.aisleOverRuns {
+		t.aisleOverRuns[i] = 0
+	}
+}

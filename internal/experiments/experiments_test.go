@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtQuickScale smoke-tests every registered experiment:
+// it must run without error and produce non-empty output.
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	p := QuickParams()
+	for _, spec := range All {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			if testing.Short() && (spec.ID == "fig20" || spec.ID == "fig21") {
+				t.Skip("multi-run sweep skipped in -short")
+			}
+			rep, err := spec.Run(p)
+			if err != nil {
+				t.Fatalf("%s failed: %v", spec.ID, err)
+			}
+			if len(rep.Lines) == 0 {
+				t.Fatalf("%s produced no output", spec.ID)
+			}
+			var sb strings.Builder
+			if _, err := rep.WriteTo(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(sb.String(), spec.ID) {
+				t.Error("report header missing experiment ID")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig19"); !ok {
+		t.Error("fig19 must be registered")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown ID must not resolve")
+	}
+	if len(All) != 22 {
+		t.Errorf("registered experiments = %d, want 22 (Table 1–2, Figs. 1–16, 18–21)", len(All))
+	}
+}
+
+// TestFig19Shape verifies the headline numbers hold at quick scale: TAPAS
+// beats Baseline on both temperature and power.
+func TestFig19Shape(t *testing.T) {
+	rep, err := Fig19(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "max temperature") || !strings.Contains(joined, "peak row power") {
+		t.Fatalf("missing summary lines:\n%s", joined)
+	}
+	for _, line := range rep.Lines {
+		if strings.HasPrefix(line, "max temperature") || strings.HasPrefix(line, "peak row power") {
+			if strings.Contains(line, "−-") || strings.Contains(line, "(-") {
+				t.Errorf("reduction negative (TAPAS lost): %s", line)
+			}
+		}
+	}
+}
+
+// TestTable1Directions checks the direction arrows against the paper.
+func TestTable1Directions(t *testing.T) {
+	rep, err := Table1(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][4]string{
+		"Model size":   {"↑", "↓", "↓", "↓"},
+		"Quantization": {"↑", "↓", "↓", "↓"},
+		"Parallelism":  {"↓", "↑", "↓", "−"},
+		"Frequency":    {"↓", "↓", "↓", "−"},
+		"Batch size":   {"↓", "↓", "↓", "−"},
+	}
+	for prefix, dirs := range want {
+		found := false
+		for _, line := range rep.Lines {
+			if strings.HasPrefix(line, prefix) {
+				found = true
+				for i, label := range []string{"perf", "temp", "power", "quality"} {
+					token := label + " " + dirs[i]
+					if !strings.Contains(line, token) {
+						t.Errorf("%s: want %q in %q", prefix, token, line)
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no Table 1 row starting with %q", prefix)
+		}
+	}
+}

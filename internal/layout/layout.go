@@ -1,0 +1,278 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Config describes a datacenter to generate. Aisles each contain two rows
+// (Fig. 1); rows contain RacksPerRow racks of ServersPerRack servers.
+type Config struct {
+	Name           string
+	Aisles         int
+	RacksPerRow    int
+	ServersPerRack int
+	GPU            GPUModel
+	Seed           uint64
+	// AirflowMargin and PowerMargin are the provisioning headroom over the
+	// nominal aggregate peak (airflow per aisle, power per row). Operators
+	// provision for peak load (§2.1, §2.2), so margins are small.
+	AirflowMargin float64
+	PowerMargin   float64
+	// AirflowDesignLoad is the server load fraction whose aggregate airflow
+	// the AHUs are provisioned to sustain (default 0.85). AHUs are sized
+	// for the realistic simultaneous peak, not for every fan at 100% —
+	// which never occurs fleet-wide.
+	AirflowDesignLoad float64
+}
+
+// DefaultConfig returns the cluster used by the paper's large-scale
+// experiments: ~1000 A100 servers (13 aisles × 2 rows × 10 racks × 4
+// servers = 1040).
+func DefaultConfig() Config {
+	return Config{
+		Name:           "dc-east-1",
+		Aisles:         13,
+		RacksPerRow:    10,
+		ServersPerRack: 4,
+		GPU:            A100,
+		Seed:           42,
+		AirflowMargin:  0.03,
+		PowerMargin:    0.03,
+	}
+}
+
+// SmallConfig returns the two-row, 80-server layout of the paper's real
+// cluster experiment (§5.2).
+func SmallConfig() Config {
+	return Config{
+		Name:           "dc-lab",
+		Aisles:         1,
+		RacksPerRow:    10,
+		ServersPerRack: 4,
+		GPU:            A100,
+		Seed:           42,
+		AirflowMargin:  0.03,
+		PowerMargin:    0.03,
+	}
+}
+
+// Server is one GPU server. Heterogeneity fields are ground truth used by
+// the thermal physics; scheduling policies must not read them directly.
+type Server struct {
+	ID      int
+	Rack    int
+	Row     int
+	Aisle   int
+	HeightU int // slot within the rack, 0 = bottom
+	GPU     GPUSpec
+
+	// InletOffsetC is the spatial inlet-temperature offset of this server
+	// (row construction + rack position within row + height in rack).
+	InletOffsetC float64
+	// GPUTempGainC is, per GPU, the temperature rise above inlet at 100%
+	// GPU power (process variation + position within the chassis; even
+	// GPU numbers sit closer to the inlet and run cooler, §2.1).
+	GPUTempGainC []float64
+	// GPUTempBiasC is the per-GPU idle temperature offset above inlet.
+	GPUTempBiasC []float64
+}
+
+// Rack is a vertical stack of servers.
+type Rack struct {
+	ID       int
+	Row      int
+	PosInRow int
+	Servers  []*Server
+}
+
+// Row is a line of racks sharing one provisioned power envelope (fed by a
+// PDU pair).
+type Row struct {
+	ID         int
+	Aisle      int
+	UPS        int
+	Racks      []*Rack
+	Servers    []*Server
+	ProvPowerW float64
+}
+
+// Aisle is a contained cold aisle between two rows, fed by AHUs that must
+// out-blow the aggregate server airflow demand (Eq. 3).
+type Aisle struct {
+	ID             int
+	Rows           [2]*Row
+	ProvAirflowCFM float64
+}
+
+// Servers returns all servers in both rows of the aisle.
+func (a *Aisle) Servers() []*Server {
+	out := make([]*Server, 0, len(a.Rows[0].Servers)+len(a.Rows[1].Servers))
+	out = append(out, a.Rows[0].Servers...)
+	return append(out, a.Rows[1].Servers...)
+}
+
+// UPS is one uninterruptible power supply in the 4N/3 redundancy group.
+type UPS struct {
+	ID   int
+	Rows []int
+}
+
+// Datacenter is the generated physical plant.
+type Datacenter struct {
+	Config  Config
+	Aisles  []*Aisle
+	Rows    []*Row
+	Racks   []*Rack
+	Servers []*Server
+	UPSes   []*UPS
+}
+
+// NumUPS is the UPS group size for 4N/3 redundancy (§2.2).
+const NumUPS = 4
+
+// New generates a datacenter from cfg. Generation is deterministic in
+// cfg.Seed: the same seed always yields identical heterogeneity.
+func New(cfg Config) (*Datacenter, error) {
+	if cfg.Aisles <= 0 || cfg.RacksPerRow <= 0 || cfg.ServersPerRack <= 0 {
+		return nil, fmt.Errorf("layout: non-positive dimensions in config %+v", cfg)
+	}
+	if cfg.AirflowDesignLoad == 0 {
+		cfg.AirflowDesignLoad = 0.85
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7a7a5))
+	spec := Spec(cfg.GPU)
+	dc := &Datacenter{Config: cfg}
+	for u := 0; u < NumUPS; u++ {
+		dc.UPSes = append(dc.UPSes, &UPS{ID: u})
+	}
+	serverID, rackID := 0, 0
+	for a := 0; a < cfg.Aisles; a++ {
+		aisle := &Aisle{ID: a}
+		for r := 0; r < 2; r++ {
+			rowID := a*2 + r
+			// Row-level construction offset: up to ~1 °C spread (Fig. 4).
+			rowOffset := rng.Float64()*1.0 - 0.5
+			row := &Row{ID: rowID, Aisle: a, UPS: rowID % NumUPS}
+			for k := 0; k < cfg.RacksPerRow; k++ {
+				rack := &Rack{ID: rackID, Row: rowID, PosInRow: k}
+				rackID++
+				// Rack position: racks far from the AHU run warmer, up to
+				// ~2 °C within a row (Fig. 1, Fig. 4).
+				posFrac := float64(k) / float64(max(cfg.RacksPerRow-1, 1))
+				rackOffset := 1.4*posFrac*posFrac + rng.Float64()*0.6 - 0.3
+				for h := 0; h < cfg.ServersPerRack; h++ {
+					// Height has a minor impact (Fig. 4).
+					heightOffset := (rng.Float64()*0.3 - 0.15) + 0.05*float64(h)
+					srv := &Server{
+						ID:           serverID,
+						Rack:         rack.ID,
+						Row:          rowID,
+						Aisle:        a,
+						HeightU:      h,
+						GPU:          spec,
+						InletOffsetC: rowOffset + rackOffset + heightOffset,
+					}
+					srv.GPUTempGainC, srv.GPUTempBiasC = gpuHeterogeneity(rng, spec)
+					serverID++
+					rack.Servers = append(rack.Servers, srv)
+					row.Servers = append(row.Servers, srv)
+					dc.Servers = append(dc.Servers, srv)
+				}
+				row.Racks = append(row.Racks, rack)
+				dc.Racks = append(dc.Racks, rack)
+			}
+			row.ProvPowerW = float64(len(row.Servers)) * spec.ServerTDPW * (1 + cfg.PowerMargin)
+			aisle.Rows[r] = row
+			dc.Rows = append(dc.Rows, row)
+			dc.UPSes[row.UPS].Rows = append(dc.UPSes[row.UPS].Rows, rowID)
+		}
+		nServers := float64(len(aisle.Rows[0].Servers) + len(aisle.Rows[1].Servers))
+		designCFM := spec.AirflowIdleCFM + (spec.AirflowMaxCFM-spec.AirflowIdleCFM)*cfg.AirflowDesignLoad
+		aisle.ProvAirflowCFM = nServers * designCFM * (1 + cfg.AirflowMargin)
+		dc.Aisles = append(dc.Aisles, aisle)
+	}
+	return dc, nil
+}
+
+// gpuHeterogeneity draws per-GPU temperature response parameters. The paper
+// observes up to 10 °C spread across the 8 GPUs of one server at identical
+// load (Fig. 8), with even GPU numbers (closer to the inlet) cooler, and
+// over 20 °C spread across GPUs of the whole datacenter at comparable inlet
+// (Fig. 9) — so there is a server-level component (assembly and heat-sink
+// variation) on top of the per-GPU one.
+func gpuHeterogeneity(rng *rand.Rand, spec GPUSpec) (gain, bias []float64) {
+	gain = make([]float64, spec.GPUsPerServer)
+	bias = make([]float64, spec.GPUsPerServer)
+	// Server-to-server ±7 °C at TDP: together with process variation and
+	// chassis position this yields the >20 °C fleet-wide spread of Fig. 9.
+	serverOffset := rng.Float64()*14 - 7
+	for g := range gain {
+		base := 38.0              // °C rise above inlet at TDP
+		pv := rng.Float64()*6 - 3 // process variation ±3 °C
+		layoutPenalty := 0.0
+		if (g+1)%2 == 1 { // odd GPU numbers (1,3,5,7) sit behind other parts
+			layoutPenalty = 4.0
+		}
+		gain[g] = base + serverOffset + pv + layoutPenalty
+		bias[g] = 4 + rng.Float64()*2 // idle offset above inlet, 4–6 °C
+	}
+	return gain, bias
+}
+
+// AddRacks appends extra racks to every row, modelling oversubscription:
+// operators add racks to existing rows without raising the provisioned
+// airflow or power envelopes (§4.4). ratio 0.4 adds 40% more racks
+// (rounded down per row, at least 1 when ratio > 0).
+func (dc *Datacenter) AddRacks(ratio float64) {
+	if ratio <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewPCG(dc.Config.Seed, 0x05e15))
+	spec := Spec(dc.Config.GPU)
+	serverID := len(dc.Servers)
+	rackID := len(dc.Racks)
+	for _, row := range dc.Rows {
+		extra := int(float64(dc.Config.RacksPerRow) * ratio)
+		if extra == 0 {
+			extra = 1
+		}
+		for k := 0; k < extra; k++ {
+			pos := dc.Config.RacksPerRow + k
+			rack := &Rack{ID: rackID, Row: row.ID, PosInRow: pos}
+			rackID++
+			posFrac := float64(pos) / float64(max(dc.Config.RacksPerRow-1, 1))
+			if posFrac > 1.3 {
+				posFrac = 1.3
+			}
+			rackOffset := 1.4*posFrac*posFrac + rng.Float64()*0.6 - 0.3
+			for h := 0; h < dc.Config.ServersPerRack; h++ {
+				srv := &Server{
+					ID:           serverID,
+					Rack:         rack.ID,
+					Row:          row.ID,
+					Aisle:        row.Aisle,
+					HeightU:      h,
+					GPU:          spec,
+					InletOffsetC: rackOffset + 0.05*float64(h),
+				}
+				srv.GPUTempGainC, srv.GPUTempBiasC = gpuHeterogeneity(rng, spec)
+				serverID++
+				rack.Servers = append(rack.Servers, srv)
+				row.Servers = append(row.Servers, srv)
+				dc.Servers = append(dc.Servers, srv)
+			}
+			row.Racks = append(row.Racks, rack)
+			dc.Racks = append(dc.Racks, rack)
+		}
+		// Note: row.ProvPowerW and aisle ProvAirflowCFM intentionally stay
+		// fixed — that is what oversubscription means.
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

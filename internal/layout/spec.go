@@ -1,0 +1,96 @@
+// Package layout models the physical datacenter the paper characterizes in
+// §2: aisles of two rows fed by AHUs, rows of racks sharing a provisioned
+// power envelope, racks of GPU servers, and the per-entity heterogeneity
+// (row/rack/height inlet offsets, per-GPU process variation) that TAPAS
+// exploits.
+//
+// All heterogeneity is generated deterministically from the layout seed so
+// experiments are reproducible, and it is *hidden* from scheduling policies:
+// policies only see it through profiled sensor data, exactly as in the paper.
+package layout
+
+import "fmt"
+
+// GPUModel identifies the accelerator generation of a server.
+type GPUModel int
+
+const (
+	// A100 is an NVIDIA DGX A100 server (8×A100).
+	A100 GPUModel = iota
+	// H100 is an NVIDIA DGX H100 server (8×H100).
+	H100
+)
+
+func (m GPUModel) String() string {
+	switch m {
+	case A100:
+		return "A100"
+	case H100:
+		return "H100"
+	default:
+		return fmt.Sprintf("GPUModel(%d)", int(m))
+	}
+}
+
+// GPUSpec captures the published characteristics of a DGX server that the
+// paper's models depend on: thermal design power, airflow envelope, clock
+// range, and the 85 °C throttle threshold.
+type GPUSpec struct {
+	Model           GPUModel
+	GPUsPerServer   int
+	GPUTDPW         float64 // per-GPU thermal design power, watts
+	GPUIdleW        float64 // per-GPU idle power, watts
+	ServerOtherW    float64 // CPUs, memory, storage, NICs at idle, watts
+	ServerOtherMaxW float64 // same components at full load (excluding fans)
+	FanMaxW         float64 // fan power at full speed, watts
+	ServerTDPW      float64 // total server TDP, watts (6.5 kW A100 / 10.2 kW H100)
+	MaxFreqGHz      float64
+	MinFreqGHz      float64
+	ThrottleTempC   float64 // GPU thermal throttle threshold
+	MemMaxTempC     float64 // HBM temperature limit
+	AirflowIdleCFM  float64
+	AirflowMaxCFM   float64 // at 100% PWM; paper cites 840/1105 CFM at 80%
+}
+
+// Spec returns the server specification for a GPU model. The values combine
+// published DGX numbers with the paper's constants (§2.1): A100 servers have
+// a 6.5 kW TDP and 840 CFM at 80% PWM (⇒ 1050 CFM at 100%); H100 servers
+// 10.2 kW and 1105 CFM at 80% (⇒ 1380 CFM).
+func Spec(m GPUModel) GPUSpec {
+	switch m {
+	case H100:
+		return GPUSpec{
+			Model:           H100,
+			GPUsPerServer:   8,
+			GPUTDPW:         700,
+			GPUIdleW:        90,
+			ServerOtherW:    1300,
+			ServerOtherMaxW: 4250,
+			FanMaxW:         350,
+			ServerTDPW:      10200,
+			MaxFreqGHz:      1.98,
+			MinFreqGHz:      0.80,
+			ThrottleTempC:   85,
+			MemMaxTempC:     95,
+			AirflowIdleCFM:  420,
+			AirflowMaxCFM:   1381,
+		}
+	default:
+		return GPUSpec{
+			Model:           A100,
+			GPUsPerServer:   8,
+			GPUTDPW:         400,
+			GPUIdleW:        55,
+			ServerOtherW:    1100,
+			ServerOtherMaxW: 3050,
+			FanMaxW:         250,
+			ServerTDPW:      6500,
+			MaxFreqGHz:      1.41,
+			MinFreqGHz:      0.70,
+			ThrottleTempC:   85,
+			MemMaxTempC:     95,
+			AirflowIdleCFM:  320,
+			AirflowMaxCFM:   1050,
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package llm models LLM inference serving the way the paper uses it: a
+// configuration space (model size, quantization, tensor parallelism, batch
+// size, GPU frequency) with per-phase (prefill/decode) performance, power and
+// temperature profiles (Fig. 15), goodput under TTFT/TBT SLOs (Fig. 16), a
+// Pareto frontier for the Instance Configurator, and two execution models —
+// a fluid per-tick Instance for cluster-scale simulation and an
+// iteration-level EngineSim for fine-grained runs.
+package llm
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+// ModelSize identifies a Llama2 variant.
+type ModelSize int
+
+const (
+	Llama7B ModelSize = iota
+	Llama13B
+	Llama70B
+)
+
+func (m ModelSize) String() string {
+	switch m {
+	case Llama7B:
+		return "7B"
+	case Llama13B:
+		return "13B"
+	case Llama70B:
+		return "70B"
+	default:
+		return fmt.Sprintf("ModelSize(%d)", int(m))
+	}
+}
+
+// Params returns the parameter count.
+func (m ModelSize) Params() float64 {
+	switch m {
+	case Llama7B:
+		return 7e9
+	case Llama13B:
+		return 13e9
+	default:
+		return 70e9
+	}
+}
+
+// Quant is the numeric precision of the deployed model.
+type Quant int
+
+const (
+	FP16 Quant = iota
+	FP8
+)
+
+func (q Quant) String() string {
+	if q == FP8 {
+		return "FP8"
+	}
+	return "FP16"
+}
+
+// BytesPerParam returns the weight footprint per parameter.
+func (q Quant) BytesPerParam() float64 {
+	if q == FP8 {
+		return 1
+	}
+	return 2
+}
+
+// Config is one operating point of an LLM inference instance — the five
+// knobs of Table 1.
+type Config struct {
+	Model    ModelSize
+	Quant    Quant
+	TP       int     // tensor parallelism: GPUs used, ∈ {2,4,8}
+	MaxBatch int     // continuous batching limit, ∈ {1,4,16,64}
+	FreqFrac float64 // GPU frequency fraction of max, ∈ (0,1]
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s/%s/TP%d/B%d/f%.2f", c.Model, c.Quant, c.TP, c.MaxBatch, c.FreqFrac)
+}
+
+// DefaultConfig is the quality-first operating point endpoints start from.
+func DefaultConfig() Config {
+	return Config{Model: Llama70B, Quant: FP16, TP: 8, MaxBatch: 64, FreqFrac: 1.0}
+}
+
+// gpuMemBytes is the HBM capacity per A100/H100 GPU (80 GB).
+const gpuMemBytes = 80e9
+
+// memHeadroom reserves HBM for KV cache and activations on top of weights.
+const memHeadroom = 1.10
+
+// Fits reports whether the model weights (plus KV headroom) fit in the HBM
+// of TP GPUs.
+func (c Config) Fits() bool {
+	need := c.Model.Params() * c.Quant.BytesPerParam() * memHeadroom
+	return need <= float64(c.TP)*gpuMemBytes
+}
+
+// Validate checks the knob ranges.
+func (c Config) Validate() error {
+	switch c.TP {
+	case 2, 4, 8:
+	default:
+		return fmt.Errorf("llm: invalid TP %d (want 2, 4 or 8)", c.TP)
+	}
+	if c.MaxBatch < 1 || c.MaxBatch > 64 {
+		return fmt.Errorf("llm: invalid batch %d (want 1–64)", c.MaxBatch)
+	}
+	if c.FreqFrac <= 0 || c.FreqFrac > 1 {
+		return fmt.Errorf("llm: invalid frequency fraction %v", c.FreqFrac)
+	}
+	if !c.Fits() {
+		return fmt.Errorf("llm: %v does not fit in %d GPUs", c, c.TP)
+	}
+	return nil
+}
+
+// Quality returns the relative answer quality of a model/precision pair,
+// normalized to 70B FP16 = 1. The paper reports 7B at 30–40% below 70B and
+// quantization costing 2–20%.
+func (c Config) Quality() float64 {
+	var q float64
+	switch c.Model {
+	case Llama70B:
+		q = 1.00
+	case Llama13B:
+		q = 0.82
+	default:
+		q = 0.64
+	}
+	if c.Quant == FP8 {
+		q *= 0.96
+	}
+	return q
+}
+
+// ReconfigTime returns the service interruption incurred when switching
+// from one config to another. Frequency and batch changes are effectively
+// instantaneous; TP, model size or quantization changes require a model
+// reload of a few seconds during which the instance serves nothing (§4.3).
+func ReconfigTime(from, to Config) time.Duration {
+	if from.Model != to.Model || from.Quant != to.Quant || from.TP != to.TP {
+		return 20 * time.Second
+	}
+	return 0
+}
+
+// knob grids explored by profiling and the configurator.
+var (
+	allModels  = []ModelSize{Llama70B, Llama13B, Llama7B}
+	allQuants  = []Quant{FP16, FP8}
+	allTPs     = []int{8, 4, 2}
+	allBatches = []int{64, 16, 4, 1}
+	allFreqs   = []float64{1.0, 0.9, 0.8, 0.65, 0.5}
+)
+
+// ConfigSpace enumerates every valid configuration for a GPU generation.
+func ConfigSpace(spec layout.GPUSpec) []Config {
+	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
+	var out []Config
+	for _, m := range allModels {
+		for _, q := range allQuants {
+			for _, tp := range allTPs {
+				for _, b := range allBatches {
+					for _, f := range allFreqs {
+						if f < minFrac {
+							continue
+						}
+						c := Config{Model: m, Quant: q, TP: tp, MaxBatch: b, FreqFrac: f}
+						if c.Fits() {
+							out = append(out, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

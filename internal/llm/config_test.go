@@ -1,0 +1,130 @@
+package llm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+func TestModelSizeParams(t *testing.T) {
+	if Llama7B.Params() != 7e9 || Llama13B.Params() != 13e9 || Llama70B.Params() != 70e9 {
+		t.Error("model parameter counts wrong")
+	}
+	if Llama7B.String() != "7B" || Llama70B.String() != "70B" {
+		t.Error("ModelSize String() wrong")
+	}
+	if ModelSize(9).String() == "" {
+		t.Error("unknown ModelSize String() empty")
+	}
+}
+
+func TestQuantBytes(t *testing.T) {
+	if FP16.BytesPerParam() != 2 || FP8.BytesPerParam() != 1 {
+		t.Error("bytes per param wrong")
+	}
+	if FP16.String() != "FP16" || FP8.String() != "FP8" {
+		t.Error("Quant String() wrong")
+	}
+}
+
+func TestConfigFits(t *testing.T) {
+	// 70B FP16 = 140 GB weights; fits TP2 (160 GB) only barely, TP8 amply.
+	if !(Config{Model: Llama70B, Quant: FP16, TP: 8}).Fits() {
+		t.Error("70B FP16 must fit TP8")
+	}
+	if !(Config{Model: Llama70B, Quant: FP16, TP: 2}).Fits() {
+		t.Error("70B FP16 must (barely) fit TP2")
+	}
+	if !(Config{Model: Llama7B, Quant: FP16, TP: 2}).Fits() {
+		t.Error("7B must fit TP2")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.TP = 3
+	if bad.Validate() == nil {
+		t.Error("TP=3 must be invalid")
+	}
+	bad = good
+	bad.MaxBatch = 0
+	if bad.Validate() == nil {
+		t.Error("batch 0 must be invalid")
+	}
+	bad = good
+	bad.FreqFrac = 1.5
+	if bad.Validate() == nil {
+		t.Error("freq 1.5 must be invalid")
+	}
+}
+
+func TestQualityOrdering(t *testing.T) {
+	q70 := Config{Model: Llama70B, Quant: FP16}.Quality()
+	q13 := Config{Model: Llama13B, Quant: FP16}.Quality()
+	q7 := Config{Model: Llama7B, Quant: FP16}.Quality()
+	if !(q70 > q13 && q13 > q7) {
+		t.Errorf("quality ordering broken: %v %v %v", q70, q13, q7)
+	}
+	// Paper: 7B is 30–40% below 70B.
+	if drop := 1 - q7/q70; drop < 0.30 || drop > 0.40 {
+		t.Errorf("7B quality drop = %.0f%%, want 30–40%%", drop*100)
+	}
+	// Quantization costs a few percent.
+	q70fp8 := Config{Model: Llama70B, Quant: FP8}.Quality()
+	if loss := 1 - q70fp8/q70; loss < 0.02 || loss > 0.20 {
+		t.Errorf("FP8 quality loss = %.0f%%, want 2–20%%", loss*100)
+	}
+}
+
+func TestReconfigTime(t *testing.T) {
+	base := DefaultConfig()
+	freqOnly := base
+	freqOnly.FreqFrac = 0.8
+	if ReconfigTime(base, freqOnly) != 0 {
+		t.Error("frequency change must be instantaneous")
+	}
+	batchOnly := base
+	batchOnly.MaxBatch = 16
+	if ReconfigTime(base, batchOnly) != 0 {
+		t.Error("batch change must be instantaneous")
+	}
+	tpChange := base
+	tpChange.TP = 4
+	if ReconfigTime(base, tpChange) < time.Second {
+		t.Error("TP change must require a reload")
+	}
+	modelChange := base
+	modelChange.Model = Llama13B
+	if ReconfigTime(base, modelChange) < time.Second {
+		t.Error("model change must require a reload")
+	}
+}
+
+func TestConfigSpace(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	space := ConfigSpace(spec)
+	if len(space) < 100 {
+		t.Fatalf("config space has %d entries, want > 100", len(space))
+	}
+	seen := map[Config]bool{}
+	for _, c := range space {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid config in space: %v", err)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate config %v", c)
+		}
+		seen[c] = true
+		if c.FreqFrac < spec.MinFreqGHz/spec.MaxFreqGHz {
+			t.Fatalf("config %v below hardware min frequency", c)
+		}
+	}
+	if !seen[DefaultConfig()] {
+		t.Error("config space must include the default config")
+	}
+}

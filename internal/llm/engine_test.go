@@ -1,0 +1,128 @@
+package llm
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+func genRequests(n int, interarrival time.Duration, rng *rand.Rand) []Request {
+	reqs := make([]Request, n)
+	at := time.Duration(0)
+	for i := range reqs {
+		reqs[i] = Request{
+			ID:           int64(i),
+			Customer:     rng.IntN(50),
+			PromptTokens: 512 + rng.IntN(1024),
+			OutputTokens: 64 + rng.IntN(384),
+			Arrival:      at,
+		}
+		at += time.Duration(rng.Float64() * 2 * float64(interarrival))
+	}
+	return reqs
+}
+
+func TestEngineSimCompletesAll(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	rng := rand.New(rand.NewPCG(8, 8))
+	reqs := genRequests(100, 500*time.Millisecond, rng)
+	e := NewEngineSim(spec, DefaultConfig())
+	slos := ComputeSLOs(spec, DefaultConfig(), DefaultWorkload())
+	st := e.Run(reqs, time.Hour, slos)
+	if st.Completed != len(reqs) {
+		t.Fatalf("completed %d of %d", st.Completed, len(reqs))
+	}
+	if st.ServedTokens <= 0 || st.Makespan <= 0 {
+		t.Error("stats incomplete")
+	}
+	if st.TTFTP99 < st.TTFTP50 {
+		t.Error("P99 TTFT below P50")
+	}
+}
+
+func TestEngineSimLightLoadMeetsSLOs(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	rng := rand.New(rand.NewPCG(9, 9))
+	reqs := genRequests(50, 3*time.Second, rng) // light load
+	e := NewEngineSim(spec, DefaultConfig())
+	slos := ComputeSLOs(spec, DefaultConfig(), DefaultWorkload())
+	st := e.Run(reqs, time.Hour, slos)
+	if st.SLOAttainment < 0.95 {
+		t.Errorf("light-load SLO attainment = %v, want ≥ 0.95", st.SLOAttainment)
+	}
+}
+
+func TestEngineSimOverloadViolatesSLOs(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	rng := rand.New(rand.NewPCG(10, 10))
+	reqs := genRequests(400, 20*time.Millisecond, rng) // heavy overload
+	e := NewEngineSim(spec, DefaultConfig())
+	slos := ComputeSLOs(spec, DefaultConfig(), DefaultWorkload())
+	st := e.Run(reqs, 2*time.Hour, slos)
+	if st.SLOAttainment > 0.7 {
+		t.Errorf("overload SLO attainment = %v, want well below 1", st.SLOAttainment)
+	}
+	if st.TTFTP99 <= slos.TTFT {
+		t.Error("overload P99 TTFT should bust the SLO")
+	}
+}
+
+func TestEngineSimPhaseAccounting(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	rng := rand.New(rand.NewPCG(11, 11))
+	reqs := genRequests(50, time.Second, rng)
+	e := NewEngineSim(spec, DefaultConfig())
+	slos := ComputeSLOs(spec, DefaultConfig(), DefaultWorkload())
+	st := e.Run(reqs, time.Hour, slos)
+	if st.PrefillBusy <= 0 || st.DecodeBusy <= 0 {
+		t.Error("both phases must accumulate busy time")
+	}
+	if st.PrefillBusy+st.DecodeBusy > st.Makespan {
+		t.Error("busy time cannot exceed makespan")
+	}
+}
+
+func TestEngineSimHorizonCutoff(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	rng := rand.New(rand.NewPCG(12, 12))
+	reqs := genRequests(1000, 10*time.Millisecond, rng)
+	e := NewEngineSim(spec, DefaultConfig())
+	slos := ComputeSLOs(spec, DefaultConfig(), DefaultWorkload())
+	st := e.Run(reqs, 5*time.Second, slos)
+	if st.Completed >= len(reqs) {
+		t.Error("horizon cutoff should leave requests unfinished")
+	}
+}
+
+func TestEngineSimZeroOutputRequest(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	reqs := []Request{{ID: 1, PromptTokens: 100, OutputTokens: 0, Arrival: 0}}
+	e := NewEngineSim(spec, DefaultConfig())
+	slos := ComputeSLOs(spec, DefaultConfig(), DefaultWorkload())
+	st := e.Run(reqs, time.Minute, slos)
+	if st.Completed != 1 {
+		t.Errorf("prefill-only request must complete, got %d", st.Completed)
+	}
+}
+
+func TestEngineSimBatchLimit(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	c := DefaultConfig()
+	c.MaxBatch = 1
+	// All arrive at once: with batch 1 they serialize, so makespan grows
+	// roughly linearly with request count.
+	mk := func(n int) time.Duration {
+		var reqs []Request
+		for i := 0; i < n; i++ {
+			reqs = append(reqs, Request{ID: int64(i), PromptTokens: 256, OutputTokens: 64})
+		}
+		e := NewEngineSim(spec, c)
+		st := e.Run(reqs, time.Hour, ComputeSLOs(spec, DefaultConfig(), DefaultWorkload()))
+		return st.Makespan
+	}
+	if mk(8) < 6*mk(1) {
+		t.Error("batch-1 engine should serialize requests")
+	}
+}

@@ -1,0 +1,246 @@
+package llm
+
+import (
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/units"
+)
+
+// Instance is the fluid (per-tick) model of one LLM serving instance used by
+// the cluster-scale simulator. Token queues are continuous quantities; each
+// Step drains them at the rates of the current configuration, splitting time
+// between prefill and decode in proportion to demand, as continuous batching
+// does.
+type Instance struct {
+	Spec   layout.GPUSpec
+	Config Config
+	Work   Workload
+	SLOs   SLOs
+
+	pendingPrefill float64 // prompt tokens awaiting prefill
+	pendingDecode  float64 // output tokens awaiting generation
+	outputRatio    float64 // avg output-per-prompt-token ratio of queue
+	reloadLeft     time.Duration
+
+	// SpeedFactor scales serving rates to model hardware frequency capping
+	// imposed from outside the instance (thermal throttle, power cap).
+	// 1 (or 0, treated as 1) means full speed.
+	SpeedFactor float64
+
+	// affinity holds recently served customers for KV-cache reuse routing.
+	affinity    map[int]time.Duration
+	affinityNow time.Duration
+
+	// Per-tick outputs, refreshed by Step.
+	BusyFrac     float64 // fraction of the tick spent serving
+	PrefillShare float64 // fraction of busy time in prefill
+	BacklogSecs  float64 // unserved demand at tick end, in seconds of work
+
+	// enqueuedTokens accumulates tokens routed to the instance since the
+	// last Step; the configurator reads it as the live demand signal.
+	enqueuedTokens float64
+
+	// Cumulative accounting.
+	ServedTokens      float64
+	CompletedRequests float64
+	QualityWeight     float64 // quality-weighted completed requests
+	SLOViolatedReqs   float64
+}
+
+// NewInstance builds an instance at the given configuration.
+func NewInstance(spec layout.GPUSpec, c Config, w Workload, slos SLOs) *Instance {
+	return &Instance{
+		Spec: spec, Config: c, Work: w, SLOs: slos,
+		outputRatio: w.AvgOutputTokens / w.AvgPromptTokens,
+		affinity:    make(map[int]time.Duration),
+	}
+}
+
+// Enqueue adds a request's tokens to the instance queues.
+func (in *Instance) Enqueue(req Request) {
+	in.enqueuedTokens += float64(req.TotalTokens())
+	in.pendingPrefill += float64(req.PromptTokens)
+	// Output tokens become decode work once their prompt is prefilled; the
+	// fluid model moves them over proportionally, so track the ratio.
+	if req.PromptTokens > 0 {
+		// Exponentially smooth the ratio toward the live mix.
+		r := float64(req.OutputTokens) / float64(req.PromptTokens)
+		in.outputRatio = 0.95*in.outputRatio + 0.05*r
+	}
+	in.Touch(req.Customer)
+}
+
+// EnqueueBulk adds aggregate token demand directly (used when the trace
+// provides per-tick totals rather than individual requests).
+func (in *Instance) EnqueueBulk(promptTokens, outputTokens float64) {
+	in.enqueuedTokens += promptTokens + outputTokens
+	in.pendingPrefill += promptTokens
+	if promptTokens > 0 {
+		in.outputRatio = 0.95*in.outputRatio + 0.05*(outputTokens/promptTokens)
+	}
+}
+
+// QueueTokens returns the pending work in tokens (prompt + output).
+func (in *Instance) QueueTokens() float64 { return in.pendingPrefill + in.pendingDecode }
+
+// Reloading reports whether the instance is mid-reconfiguration.
+func (in *Instance) Reloading() bool { return in.reloadLeft > 0 }
+
+// Reconfigure switches the instance to a new configuration, incurring the
+// reload penalty when the change requires one. Queued work is retained.
+func (in *Instance) Reconfigure(to Config) {
+	in.reloadLeft += ReconfigTime(in.Config, to)
+	in.Config = to
+}
+
+// DemandSeconds estimates how many seconds of work currently sit in the
+// queues under the present configuration.
+func (in *Instance) DemandSeconds() float64 {
+	pr := PrefillRate(in.Spec, in.Config)
+	dr := DecodeTokenRate(in.Spec, in.Config, in.Config.MaxBatch)
+	if pr <= 0 || dr <= 0 {
+		return 0
+	}
+	future := in.pendingPrefill * in.outputRatio // decode work still to appear
+	return in.pendingPrefill/pr + (in.pendingDecode+future)/dr
+}
+
+// TickEnqueued returns the tokens routed to the instance since the last
+// Step — the demand signal the Instance Configurator sizes against.
+func (in *Instance) TickEnqueued() float64 { return in.enqueuedTokens }
+
+// Step advances the instance by dt, draining queues and updating telemetry.
+func (in *Instance) Step(dt time.Duration) {
+	in.enqueuedTokens = 0
+	in.affinityNow += dt
+	in.BusyFrac, in.PrefillShare = 0, 0
+	if in.reloadLeft > 0 {
+		if in.reloadLeft >= dt {
+			in.reloadLeft -= dt
+			in.BacklogSecs = in.DemandSeconds()
+			return
+		}
+		dt -= in.reloadLeft
+		in.reloadLeft = 0
+	}
+	secs := dt.Seconds()
+	if secs <= 0 {
+		return
+	}
+	sf := in.SpeedFactor
+	if sf <= 0 || sf > 1 {
+		sf = 1
+	}
+	pr := PrefillRate(in.Spec, in.Config) * sf
+	dr := DecodeTokenRate(in.Spec, in.Config, in.Config.MaxBatch) * sf
+
+	// Drain in sub-steps with decode priority, so prompt tokens prefetched
+	// early in the tick get their decode work served within the same tick —
+	// the fluid analogue of continuous batching keeping the running batch
+	// fed while admitting prefills with leftover capacity.
+	const subSteps = 4
+	var donePrefill, doneDecode, prefillSecs, decodeSecs float64
+	for i := 0; i < subSteps; i++ {
+		budget := secs / subSteps
+		tDec := in.pendingDecode / dr
+		if tDec > budget {
+			tDec = budget
+		}
+		in.pendingDecode -= tDec * dr
+		doneDecode += tDec * dr
+		decodeSecs += tDec
+		budget -= tDec
+
+		tPre := in.pendingPrefill / pr
+		if tPre > budget {
+			tPre = budget
+		}
+		prompt := tPre * pr
+		in.pendingPrefill -= prompt
+		in.pendingDecode += prompt * in.outputRatio
+		donePrefill += prompt
+		prefillSecs += tPre
+	}
+	busySecs := prefillSecs + decodeSecs
+	if busySecs == 0 {
+		in.BacklogSecs = 0
+		return
+	}
+	in.BusyFrac = units.Clamp01(busySecs / secs)
+	in.PrefillShare = units.Clamp01(prefillSecs / busySecs)
+	in.BacklogSecs = in.DemandSeconds()
+
+	in.ServedTokens += donePrefill + doneDecode
+	if in.Work.AvgOutputTokens > 0 {
+		reqs := doneDecode / in.Work.AvgOutputTokens
+		in.CompletedRequests += reqs
+		in.QualityWeight += reqs * in.Config.Quality()
+		// A request completed while the backlog exceeds the TTFT slack is
+		// SLO-violated in the fluid approximation.
+		slack := in.SLOs.TTFT.Seconds() - in.Work.AvgPromptTokens/pr
+		if in.BacklogSecs > slack {
+			in.SLOViolatedReqs += reqs
+		}
+	}
+}
+
+// GPUPowerFrac returns the current per-active-GPU power fraction given this
+// tick's busy fraction and phase mix.
+func (in *Instance) GPUPowerFrac() float64 {
+	idleFrac := in.Spec.GPUIdleW / in.Spec.GPUTDPW
+	if in.Reloading() {
+		return idleFrac
+	}
+	busy := in.BusyFrac*in.PrefillShare*GPUPowerFrac(in.Spec, in.Config, Prefill) +
+		in.BusyFrac*(1-in.PrefillShare)*GPUPowerFrac(in.Spec, in.Config, Decode)
+	return units.Clamp01(busy + (1-in.BusyFrac)*idleFrac)
+}
+
+// MemIntensityNow returns the current blended memory intensity for HBM
+// temperature modelling.
+func (in *Instance) MemIntensityNow() float64 {
+	if in.BusyFrac == 0 {
+		return 0
+	}
+	return in.PrefillShare*MemIntensity(Prefill, in.Config) +
+		(1-in.PrefillShare)*MemIntensity(Decode, in.Config)
+}
+
+// ActiveGPUs returns how many of the server's GPUs this instance drives.
+func (in *Instance) ActiveGPUs() int { return in.Config.TP }
+
+// AvgQuality returns the quality-weighted average over completed requests.
+func (in *Instance) AvgQuality() float64 {
+	if in.CompletedRequests == 0 {
+		return in.Config.Quality()
+	}
+	return in.QualityWeight / in.CompletedRequests
+}
+
+// affinityTTL bounds how long KV-cache reuse remains likely for a customer.
+const affinityTTL = 10 * time.Minute
+
+// affinityCap bounds the tracked customer set.
+const affinityCap = 512
+
+// Touch records that a customer was served now.
+func (in *Instance) Touch(customer int) {
+	if len(in.affinity) >= affinityCap {
+		for k, seen := range in.affinity {
+			if in.affinityNow-seen > affinityTTL {
+				delete(in.affinity, k)
+			}
+		}
+		if len(in.affinity) >= affinityCap {
+			return // saturated with live customers; skip tracking
+		}
+	}
+	in.affinity[customer] = in.affinityNow
+}
+
+// HasAffinity reports whether the customer's KV cache is likely still warm.
+func (in *Instance) HasAffinity(customer int) bool {
+	seen, ok := in.affinity[customer]
+	return ok && in.affinityNow-seen <= affinityTTL
+}

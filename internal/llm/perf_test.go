@@ -1,0 +1,166 @@
+package llm
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+var a100 = layout.Spec(layout.A100)
+
+func TestPrefillRateScaling(t *testing.T) {
+	base := DefaultConfig()
+	r8 := PrefillRate(a100, base)
+	tp4 := base
+	tp4.TP = 4
+	if r4 := PrefillRate(a100, tp4); r4 >= r8 {
+		t.Errorf("TP4 prefill %v should be below TP8 %v", r4, r8)
+	}
+	slow := base
+	slow.FreqFrac = 0.5
+	if rs := PrefillRate(a100, slow); rs >= r8*0.55 {
+		t.Errorf("half frequency prefill %v should be ≈ half of %v (compute-bound)", rs, r8)
+	}
+	small := base
+	small.Model = Llama7B
+	if r7 := PrefillRate(a100, small); r7 <= r8*5 {
+		t.Errorf("7B prefill %v should be ≈ 10× 70B %v", r7, r8)
+	}
+	fp8 := base
+	fp8.Quant = FP8
+	if rq := PrefillRate(a100, fp8); rq <= r8 {
+		t.Error("FP8 must speed up prefill")
+	}
+}
+
+func TestPrefillRatePlausibleMagnitude(t *testing.T) {
+	// 70B FP16 TP8 on A100 should land in the thousands of tokens/s.
+	r := PrefillRate(a100, DefaultConfig())
+	if r < 2000 || r > 20000 {
+		t.Errorf("70B TP8 prefill = %.0f tok/s, want O(10³)", r)
+	}
+}
+
+func TestDecodeStepTime(t *testing.T) {
+	c := DefaultConfig()
+	t1 := DecodeStepTime(a100, c, 1)
+	t64 := DecodeStepTime(a100, c, 64)
+	if t64 <= t1 {
+		t.Error("larger batches take longer per step")
+	}
+	// 70B TP8 per-token latency should be tens of milliseconds.
+	if t1 < 5*time.Millisecond || t1 > 100*time.Millisecond {
+		t.Errorf("TBT@1 = %v, want O(10ms)", t1)
+	}
+	// But tokens/s must grow with batch (throughput wins).
+	if DecodeTokenRate(a100, c, 64) <= DecodeTokenRate(a100, c, 1) {
+		t.Error("decode throughput must grow with batch")
+	}
+	if DecodeStepTime(a100, c, 0) != DecodeStepTime(a100, c, 1) {
+		t.Error("batch < 1 must clamp to 1")
+	}
+}
+
+func TestDecodeFrequencyInsensitivity(t *testing.T) {
+	// Decode is memory-bound: halving frequency must hurt decode much less
+	// than prefill (§3.3).
+	base := DefaultConfig()
+	slow := base
+	slow.FreqFrac = 0.5
+	prefillDrop := 1 - PrefillRate(a100, slow)/PrefillRate(a100, base)
+	decodeDrop := 1 - DecodeTokenRate(a100, slow, 16)/DecodeTokenRate(a100, base, 16)
+	if decodeDrop >= prefillDrop {
+		t.Errorf("decode drop %.2f should be below prefill drop %.2f", decodeDrop, prefillDrop)
+	}
+}
+
+func TestComputeSLOs(t *testing.T) {
+	w := DefaultWorkload()
+	slos := ComputeSLOs(a100, DefaultConfig(), w)
+	unloadedTTFT := w.AvgPromptTokens / PrefillRate(a100, DefaultConfig())
+	if got := slos.TTFT.Seconds(); got < unloadedTTFT*4.9 || got > unloadedTTFT*5.1 {
+		t.Errorf("TTFT SLO = %v, want 5× unloaded %v", got, unloadedTTFT)
+	}
+	if slos.TBT < DecodeStepTime(a100, DefaultConfig(), 1) {
+		t.Error("TBT SLO below unloaded TBT")
+	}
+}
+
+func TestGoodputPositiveForDefault(t *testing.T) {
+	w := DefaultWorkload()
+	slos := ComputeSLOs(a100, DefaultConfig(), w)
+	g := Goodput(a100, DefaultConfig(), w, slos)
+	if g <= 0 {
+		t.Fatal("default config goodput must be positive")
+	}
+}
+
+func TestGoodputShrinksWithFrequency(t *testing.T) {
+	w := DefaultWorkload()
+	slos := ComputeSLOs(a100, DefaultConfig(), w)
+	slow := DefaultConfig()
+	slow.FreqFrac = 0.5
+	if Goodput(a100, slow, w, slos) >= Goodput(a100, DefaultConfig(), w, slos) {
+		t.Error("lower frequency must lower goodput")
+	}
+}
+
+func TestGoodputZeroWhenSLOImpossible(t *testing.T) {
+	w := DefaultWorkload()
+	// SLOs derived from a 7B reference are impossible for a 70B TP2 slow
+	// config: unloaded prefill alone busts TTFT.
+	ref := Config{Model: Llama7B, Quant: FP8, TP: 8, MaxBatch: 64, FreqFrac: 1}
+	slos := ComputeSLOs(a100, ref, w)
+	heavy := Config{Model: Llama70B, Quant: FP16, TP: 2, MaxBatch: 64, FreqFrac: 0.5}
+	if g := Goodput(a100, heavy, w, slos); g != 0 {
+		t.Errorf("impossible-SLO goodput = %v, want 0", g)
+	}
+}
+
+func TestPhaseUtilTPConcentration(t *testing.T) {
+	// Fig. 15a: fewer GPUs ⇒ hotter per-GPU (higher power fraction).
+	base := DefaultConfig()
+	tp2 := base
+	tp2.TP = 2
+	for _, phase := range []Phase{Prefill, Decode} {
+		if GPUPowerFrac(a100, tp2, phase) <= GPUPowerFrac(a100, base, phase) {
+			t.Errorf("%v: TP2 per-GPU power must exceed TP8", phase)
+		}
+	}
+	// Total server power must still be lower with TP2 (fewer active GPUs).
+	if ServerPowerW(a100, tp2, Prefill) >= ServerPowerW(a100, base, Prefill) {
+		t.Error("TP2 total server power must be below TP8")
+	}
+}
+
+func TestBatchEffects(t *testing.T) {
+	// Fig. 15b: smaller batch ⇒ lower power/compute temp, but higher decode
+	// memory intensity (hotter HBM).
+	big := DefaultConfig()
+	small := big
+	small.MaxBatch = 1
+	if GPUPowerFrac(a100, small, Decode) >= GPUPowerFrac(a100, big, Decode) {
+		t.Error("batch 1 decode power must be below batch 64")
+	}
+	if MemIntensity(Decode, small) <= MemIntensity(Decode, big) {
+		t.Error("batch 1 decode memory intensity must exceed batch 64")
+	}
+}
+
+func TestModelSizeEffects(t *testing.T) {
+	// Fig. 15c: smaller models draw less power in decode (less weight
+	// traffic per step and lighter compute).
+	big := DefaultConfig()
+	small := big
+	small.Model = Llama7B
+	if DecodeStepTime(a100, small, 16) >= DecodeStepTime(a100, big, 16) {
+		t.Error("7B decode step must be faster than 70B")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if Prefill.String() != "prefill" || Decode.String() != "decode" {
+		t.Error("Phase String() wrong")
+	}
+}

@@ -1,0 +1,176 @@
+package llm
+
+import (
+	"sort"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+// ProfileEntry is the offline-profiled characterization of one configuration
+// (§4.5: when the provider onboards a new LLM, TAPAS profiles the impact of
+// each configuration parameter on that hardware).
+type ProfileEntry struct {
+	Config Config
+	// Goodput is sustainable tokens/s under the endpoint SLOs.
+	Goodput float64
+	// PeakGPUPowerFrac is the hottest per-GPU power fraction across phases;
+	// combined with the thermal model it bounds the hottest GPU temperature.
+	PeakGPUPowerFrac float64
+	// PeakServerPowerW is the server power at the hungriest phase.
+	PeakServerPowerW float64
+	// AvgServerPowerW weights phases by their time share for the workload.
+	AvgServerPowerW float64
+	// Quality is the relative answer quality (70B FP16 = 1).
+	Quality float64
+}
+
+// Profile is the full offline profile of an LLM on a hardware generation.
+type Profile struct {
+	Spec    layout.GPUSpec
+	Work    Workload
+	SLOs    SLOs
+	Entries []ProfileEntry
+}
+
+// BuildProfile characterizes every valid configuration, computing the data
+// behind Figs. 15 and 16.
+func BuildProfile(spec layout.GPUSpec, w Workload) *Profile {
+	slos := ComputeSLOs(spec, DefaultConfig(), w)
+	p := &Profile{Spec: spec, Work: w, SLOs: slos}
+	for _, c := range ConfigSpace(spec) {
+		p.Entries = append(p.Entries, Characterize(spec, c, w, slos))
+	}
+	// Deterministic ordering: by goodput descending, then by string.
+	sort.Slice(p.Entries, func(i, j int) bool {
+		if p.Entries[i].Goodput != p.Entries[j].Goodput {
+			return p.Entries[i].Goodput > p.Entries[j].Goodput
+		}
+		return p.Entries[i].Config.String() < p.Entries[j].Config.String()
+	})
+	return p
+}
+
+// Characterize computes the profile entry for a single configuration.
+func Characterize(spec layout.GPUSpec, c Config, w Workload, slos SLOs) ProfileEntry {
+	prefillFrac := phaseTimeShare(spec, c, w)
+	prePower := ServerPowerW(spec, c, Prefill)
+	decPower := ServerPowerW(spec, c, Decode)
+	preFrac := GPUPowerFrac(spec, c, Prefill)
+	decFrac := GPUPowerFrac(spec, c, Decode)
+	e := ProfileEntry{
+		Config:           c,
+		Goodput:          Goodput(spec, c, w, slos),
+		PeakGPUPowerFrac: maxf(preFrac, decFrac),
+		PeakServerPowerW: maxf(prePower, decPower),
+		AvgServerPowerW:  prefillFrac*prePower + (1-prefillFrac)*decPower,
+		Quality:          c.Quality(),
+	}
+	return e
+}
+
+// phaseTimeShare returns the fraction of busy time an instance spends in
+// prefill for the workload under config c.
+func phaseTimeShare(spec layout.GPUSpec, c Config, w Workload) float64 {
+	dPre := w.AvgPromptTokens / PrefillRate(spec, c)
+	dDec := w.AvgOutputTokens * DecodeStepTime(spec, c, c.MaxBatch).Seconds() / float64(c.MaxBatch)
+	if dPre+dDec == 0 {
+		return 0
+	}
+	return dPre / (dPre + dDec)
+}
+
+// Best returns the highest-goodput entry satisfying all three limits: a
+// per-GPU power-fraction ceiling (thermal headroom), a server power ceiling,
+// and a quality floor. ok is false when nothing qualifies. This is the
+// Instance Configurator's core search (§4.3).
+func (p *Profile) Best(maxGPUPowerFrac, maxServerPowerW, minQuality float64) (ProfileEntry, bool) {
+	for _, e := range p.Entries { // already sorted by goodput desc
+		if e.Goodput <= 0 {
+			continue
+		}
+		if e.PeakGPUPowerFrac <= maxGPUPowerFrac &&
+			e.PeakServerPowerW <= maxServerPowerW &&
+			e.Quality >= minQuality {
+			return e, true
+		}
+	}
+	return ProfileEntry{}, false
+}
+
+// BestPreferringCheapReconfig behaves like Best but among entries within
+// tolerance of the best goodput prefers ones not requiring a model reload
+// from the current config — the paper's "quantization and size changes are
+// a last resort" rule.
+func (p *Profile) BestPreferringCheapReconfig(cur Config, maxGPUPowerFrac, maxServerPowerW, minQuality float64) (ProfileEntry, bool) {
+	best, ok := p.Best(maxGPUPowerFrac, maxServerPowerW, minQuality)
+	if !ok {
+		return best, false
+	}
+	const tolerance = 0.93 // accept ≤7% goodput loss to avoid a reload
+	if ReconfigTime(cur, best.Config) == 0 {
+		return best, true
+	}
+	for _, e := range p.Entries {
+		if e.Goodput < best.Goodput*tolerance {
+			break
+		}
+		if ReconfigTime(cur, e.Config) != 0 {
+			continue
+		}
+		if e.PeakGPUPowerFrac <= maxGPUPowerFrac &&
+			e.PeakServerPowerW <= maxServerPowerW &&
+			e.Quality >= minQuality && e.Goodput > 0 {
+			return e, true
+		}
+	}
+	return best, true
+}
+
+// Entry returns the profile entry for an exact configuration.
+func (p *Profile) Entry(c Config) (ProfileEntry, bool) {
+	for _, e := range p.Entries {
+		if e.Config == c {
+			return e, true
+		}
+	}
+	return ProfileEntry{}, false
+}
+
+// ParetoFrontier returns the entries not dominated in (goodput↑, peak GPU
+// power frac↓, peak server power↓) within each quality tier — the per-model
+// frontiers of Fig. 16.
+func (p *Profile) ParetoFrontier(model ModelSize) []ProfileEntry {
+	var tier []ProfileEntry
+	for _, e := range p.Entries {
+		if e.Config.Model == model && e.Goodput > 0 {
+			tier = append(tier, e)
+		}
+	}
+	var frontier []ProfileEntry
+	for i, e := range tier {
+		dominated := false
+		for j, o := range tier {
+			if i == j {
+				continue
+			}
+			if o.Goodput >= e.Goodput &&
+				o.PeakGPUPowerFrac <= e.PeakGPUPowerFrac &&
+				o.PeakServerPowerW <= e.PeakServerPowerW &&
+				(o.Goodput > e.Goodput || o.PeakGPUPowerFrac < e.PeakGPUPowerFrac || o.PeakServerPowerW < e.PeakServerPowerW) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, e)
+		}
+	}
+	return frontier
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

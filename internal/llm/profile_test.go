@@ -1,0 +1,195 @@
+package llm
+
+import (
+	"testing"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+func buildTestProfile(t *testing.T) *Profile {
+	t.Helper()
+	return BuildProfile(layout.Spec(layout.A100), DefaultWorkload())
+}
+
+func TestBuildProfileCoversSpace(t *testing.T) {
+	p := buildTestProfile(t)
+	if len(p.Entries) != len(ConfigSpace(p.Spec)) {
+		t.Errorf("profile has %d entries, want %d", len(p.Entries), len(ConfigSpace(p.Spec)))
+	}
+	// Sorted by goodput descending.
+	for i := 1; i < len(p.Entries); i++ {
+		if p.Entries[i].Goodput > p.Entries[i-1].Goodput {
+			t.Fatal("entries not sorted by goodput descending")
+		}
+	}
+}
+
+func TestProfileEntryLookup(t *testing.T) {
+	p := buildTestProfile(t)
+	e, ok := p.Entry(DefaultConfig())
+	if !ok {
+		t.Fatal("default config missing from profile")
+	}
+	if e.Quality != 1 {
+		t.Errorf("default quality = %v, want 1", e.Quality)
+	}
+	if _, ok := p.Entry(Config{Model: Llama70B, TP: 8, MaxBatch: 63, FreqFrac: 1}); ok {
+		t.Error("lookup of nonexistent config must fail")
+	}
+}
+
+func TestBestRespectsLimits(t *testing.T) {
+	p := buildTestProfile(t)
+	unconstrained, ok := p.Best(1, 1e9, 0)
+	if !ok {
+		t.Fatal("unconstrained Best must succeed")
+	}
+	// A strict per-GPU power limit must produce a config within it and with
+	// no more goodput than the unconstrained best.
+	limited, ok := p.Best(0.6, 1e9, 0)
+	if !ok {
+		t.Fatal("limited Best must still find something")
+	}
+	if limited.PeakGPUPowerFrac > 0.6 {
+		t.Errorf("limited pick violates GPU power limit: %v", limited.PeakGPUPowerFrac)
+	}
+	if limited.Goodput > unconstrained.Goodput {
+		t.Error("limited pick cannot beat unconstrained goodput")
+	}
+	// Quality floor of 1.0 restricts to 70B FP16.
+	hq, ok := p.Best(1, 1e9, 1.0)
+	if !ok {
+		t.Fatal("quality-floor Best must succeed")
+	}
+	if hq.Config.Model != Llama70B || hq.Config.Quant != FP16 {
+		t.Errorf("quality floor 1.0 picked %v", hq.Config)
+	}
+	// Impossible limits fail.
+	if _, ok := p.Best(0.0, 1, 2); ok {
+		t.Error("impossible limits must return ok=false")
+	}
+}
+
+func TestBestPreferringCheapReconfig(t *testing.T) {
+	p := buildTestProfile(t)
+	cur := DefaultConfig()
+	// With a modest power squeeze there is usually a frequency/batch-only
+	// variant within tolerance of the best; it must be preferred.
+	best, ok := p.Best(0.85, 1e9, 0)
+	if !ok {
+		t.Fatal("Best failed")
+	}
+	picked, ok := p.BestPreferringCheapReconfig(cur, 0.85, 1e9, 0)
+	if !ok {
+		t.Fatal("BestPreferringCheapReconfig failed")
+	}
+	if ReconfigTime(cur, picked.Config) == 0 {
+		if picked.Goodput < best.Goodput*0.93 {
+			t.Errorf("cheap pick goodput %v below tolerance of best %v", picked.Goodput, best.Goodput)
+		}
+	} else if picked.Config != best.Config {
+		t.Error("when no cheap config qualifies, must return the best")
+	}
+	if _, ok := p.BestPreferringCheapReconfig(cur, 0, 1, 2); ok {
+		t.Error("impossible limits must return ok=false")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	p := buildTestProfile(t)
+	for _, m := range []ModelSize{Llama70B, Llama13B, Llama7B} {
+		frontier := p.ParetoFrontier(m)
+		if len(frontier) == 0 {
+			t.Fatalf("empty frontier for %v", m)
+		}
+		// No frontier point may dominate another.
+		for i, a := range frontier {
+			if a.Config.Model != m {
+				t.Fatalf("frontier for %v contains %v", m, a.Config)
+			}
+			for j, b := range frontier {
+				if i == j {
+					continue
+				}
+				if b.Goodput >= a.Goodput && b.PeakGPUPowerFrac <= a.PeakGPUPowerFrac &&
+					b.PeakServerPowerW <= a.PeakServerPowerW &&
+					(b.Goodput > a.Goodput || b.PeakGPUPowerFrac < a.PeakGPUPowerFrac || b.PeakServerPowerW < a.PeakServerPowerW) {
+					t.Fatalf("frontier point %v dominated by %v", a.Config, b.Config)
+				}
+			}
+		}
+	}
+}
+
+func TestSmallerModelsReachLowerPower(t *testing.T) {
+	// Fig. 16: each model's frontier extends to lower power at lower
+	// goodput; the 7B frontier must reach lower minimum power than 70B's.
+	p := buildTestProfile(t)
+	minPower := func(m ModelSize) float64 {
+		lo := 1e18
+		for _, e := range p.ParetoFrontier(m) {
+			if e.PeakServerPowerW < lo {
+				lo = e.PeakServerPowerW
+			}
+		}
+		return lo
+	}
+	if minPower(Llama7B) >= minPower(Llama70B) {
+		t.Error("7B frontier should reach lower power than 70B frontier")
+	}
+	maxGoodput := func(m ModelSize) float64 {
+		hi := 0.0
+		for _, e := range p.ParetoFrontier(m) {
+			if e.Goodput > hi {
+				hi = e.Goodput
+			}
+		}
+		return hi
+	}
+	if maxGoodput(Llama7B) <= maxGoodput(Llama70B) {
+		t.Error("7B should reach higher goodput than 70B under the same SLOs")
+	}
+}
+
+func TestCharacterizeTable1Directions(t *testing.T) {
+	// Table 1 direction checks on profile entries.
+	spec := layout.Spec(layout.A100)
+	w := DefaultWorkload()
+	slos := ComputeSLOs(spec, DefaultConfig(), w)
+	base := Characterize(spec, DefaultConfig(), w, slos)
+
+	smaller := DefaultConfig()
+	smaller.Model = Llama7B
+	e := Characterize(spec, smaller, w, slos)
+	if !(e.Goodput > base.Goodput && e.AvgServerPowerW < base.AvgServerPowerW && e.Quality < base.Quality) {
+		t.Error("model-size row of Table 1 violated (perf↑ power↓ quality↓↓)")
+	}
+
+	quant := DefaultConfig()
+	quant.Quant = FP8
+	e = Characterize(spec, quant, w, slos)
+	if !(e.Goodput > base.Goodput && e.AvgServerPowerW < base.AvgServerPowerW && e.Quality < base.Quality) {
+		t.Error("quantization row of Table 1 violated")
+	}
+
+	tp2 := DefaultConfig()
+	tp2.TP = 2
+	e = Characterize(spec, tp2, w, slos)
+	if !(e.Goodput < base.Goodput && e.PeakGPUPowerFrac > base.PeakGPUPowerFrac && e.PeakServerPowerW < base.PeakServerPowerW) {
+		t.Error("parallelism row of Table 1 violated (perf↓ temp↑ power↓)")
+	}
+
+	slow := DefaultConfig()
+	slow.FreqFrac = 0.5
+	e = Characterize(spec, slow, w, slos)
+	if !(e.Goodput < base.Goodput && e.PeakGPUPowerFrac < base.PeakGPUPowerFrac && e.Quality == base.Quality) {
+		t.Error("frequency row of Table 1 violated (perf↓ temp↓ power↓ quality −)")
+	}
+
+	smallBatch := DefaultConfig()
+	smallBatch.MaxBatch = 16
+	e = Characterize(spec, smallBatch, w, slos)
+	if !(e.Goodput < base.Goodput && e.PeakGPUPowerFrac < base.PeakGPUPowerFrac && e.Quality == base.Quality) {
+		t.Error("batch row of Table 1 violated")
+	}
+}

@@ -1,0 +1,15 @@
+package llm
+
+import "time"
+
+// Request is one LLM inference request.
+type Request struct {
+	ID           int64
+	Customer     int // customer identity, used for KV-cache affinity routing
+	PromptTokens int
+	OutputTokens int
+	Arrival      time.Duration // offset from simulation start
+}
+
+// TotalTokens returns prompt plus output tokens.
+func (r Request) TotalTokens() int { return r.PromptTokens + r.OutputTokens }

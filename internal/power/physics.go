@@ -1,0 +1,91 @@
+// Package power implements the electrical side of the paper: ground-truth
+// server power as a function of GPU load and frequency (used by the
+// simulator), the row/UPS power hierarchy with capping (§2.2), learned
+// polynomial power models, and the template-based power prediction used for
+// placement (Fig. 14, following SmartOClock).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/regress"
+	"github.com/tapas-sim/tapas/internal/units"
+)
+
+// dvfsExponent models GPU dynamic power versus clock frequency. DVFS scales
+// voltage with frequency, so dynamic power grows superlinearly; 2.5 sits
+// between the pure-f³ ideal and the static floor seen on real parts.
+const dvfsExponent = 2.5
+
+// GPUPower returns the ground-truth power of one GPU at a utilization in
+// [0,1] and a frequency fraction (freq / max freq) in (0,1].
+func GPUPower(spec layout.GPUSpec, util, freqFrac float64) float64 {
+	util = units.Clamp01(util)
+	freqFrac = units.Clamp(freqFrac, spec.MinFreqGHz/spec.MaxFreqGHz, 1)
+	dynamic := (spec.GPUTDPW - spec.GPUIdleW) * util * math.Pow(freqFrac, dvfsExponent)
+	return spec.GPUIdleW + dynamic
+}
+
+// FanPower returns fan power at a fan-speed fraction; fan power grows with
+// the cube of speed.
+func FanPower(spec layout.GPUSpec, fanFrac float64) float64 {
+	f := units.Clamp01(fanFrac)
+	return spec.FanMaxW * f * f * f
+}
+
+// ServerPower returns the total ground-truth power of a server given its
+// summed GPU power, its overall load fraction (drives CPUs/memory/NIC), and
+// its fan-speed fraction. Matches the paper's observation that idle servers
+// still draw significant power and that fans and other components scale
+// with load.
+func ServerPower(spec layout.GPUSpec, gpuPowerW, loadFrac, fanFrac float64) float64 {
+	other := units.Lerp(spec.ServerOtherW, spec.ServerOtherMaxW, units.Clamp01(loadFrac))
+	return other + gpuPowerW + FanPower(spec, fanFrac)
+}
+
+// ServerPowerAtUniformLoad is a convenience for profiling and placement
+// estimation: all GPUs at the same utilization and full frequency.
+func ServerPowerAtUniformLoad(spec layout.GPUSpec, util float64) float64 {
+	gpu := GPUPower(spec, util, 1) * float64(spec.GPUsPerServer)
+	return ServerPower(spec, gpu, util, 0.3+0.7*units.Clamp01(util))
+}
+
+// FreqFracForPower inverts GPUPower: the frequency fraction at which a GPU
+// running at util draws at most targetW. Returns the minimum frequency
+// fraction if even that is too much. Used by power capping.
+func FreqFracForPower(spec layout.GPUSpec, util, targetW float64) float64 {
+	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
+	util = units.Clamp01(util)
+	if util == 0 {
+		return 1
+	}
+	dynBudget := targetW - spec.GPUIdleW
+	if dynBudget <= 0 {
+		return minFrac
+	}
+	frac := math.Pow(dynBudget/((spec.GPUTDPW-spec.GPUIdleW)*util), 1/dvfsExponent)
+	return units.Clamp(frac, minFrac, 1)
+}
+
+// Model is the learned polynomial power model f_power(Load_GPU) for a
+// server class (§2.2 uses polynomial regression; fans and other components
+// also depend on load, which the polynomial absorbs).
+type Model struct {
+	Poly regress.Poly
+}
+
+// Predict returns estimated server power at a GPU load fraction.
+func (m Model) Predict(loadFrac float64) float64 {
+	return m.Poly.Eval(units.Clamp01(loadFrac))
+}
+
+// FitModel fits a degree-3 polynomial to (load, serverPower) observations.
+func FitModel(loads, powers []float64) (Model, error) {
+	p, err := regress.FitPoly(loads, powers, 3)
+	if err != nil {
+		return Model{}, fmt.Errorf("power: fitting server power model: %w", err)
+	}
+	return Model{Poly: p}, nil
+}

@@ -1,0 +1,138 @@
+package power
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/regress"
+)
+
+func TestGPUPowerEndpoints(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	if got := GPUPower(spec, 0, 1); got != spec.GPUIdleW {
+		t.Errorf("idle GPU power = %v, want %v", got, spec.GPUIdleW)
+	}
+	if got := GPUPower(spec, 1, 1); math.Abs(got-spec.GPUTDPW) > 1e-9 {
+		t.Errorf("full GPU power = %v, want TDP %v", got, spec.GPUTDPW)
+	}
+}
+
+func TestGPUPowerFrequencyScaling(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	full := GPUPower(spec, 1, 1)
+	half := GPUPower(spec, 1, 0.5)
+	if half >= full {
+		t.Error("lower frequency must lower power")
+	}
+	// Superlinear: halving frequency cuts dynamic power by more than half.
+	dynFull := full - spec.GPUIdleW
+	dynHalf := half - spec.GPUIdleW
+	if dynHalf > dynFull/2 {
+		t.Errorf("dynamic power at half freq = %v, want < %v (superlinear DVFS)", dynHalf, dynFull/2)
+	}
+}
+
+func TestGPUPowerClampsInputs(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	if GPUPower(spec, 2, 1) != GPUPower(spec, 1, 1) {
+		t.Error("utilization above 1 must clamp")
+	}
+	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
+	if GPUPower(spec, 1, 0.01) != GPUPower(spec, 1, minFrac) {
+		t.Error("frequency below hardware minimum must clamp")
+	}
+}
+
+func TestGPUPowerMonotoneProperty(t *testing.T) {
+	spec := layout.Spec(layout.H100)
+	f := func(a, b float64) bool {
+		u1 := math.Mod(math.Abs(a), 1)
+		u2 := math.Mod(math.Abs(b), 1)
+		if u1 > u2 {
+			u1, u2 = u2, u1
+		}
+		return GPUPower(spec, u2, 1) >= GPUPower(spec, u1, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerPowerAtUniformLoad(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	idle := ServerPowerAtUniformLoad(spec, 0)
+	full := ServerPowerAtUniformLoad(spec, 1)
+	// Idle servers consume significant power (§2.2) — above 1 kW for DGX.
+	if idle < 1000 {
+		t.Errorf("idle server power = %v, want > 1 kW", idle)
+	}
+	// Full load approaches but does not exceed the server TDP.
+	if full > spec.ServerTDPW {
+		t.Errorf("full server power = %v exceeds TDP %v", full, spec.ServerTDPW)
+	}
+	if full < 0.9*spec.ServerTDPW {
+		t.Errorf("full server power = %v, want ≥ 90%% of TDP %v", full, spec.ServerTDPW)
+	}
+}
+
+func TestFanPowerCubic(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	if FanPower(spec, 1) != spec.FanMaxW {
+		t.Error("full fan power must equal FanMaxW")
+	}
+	if got := FanPower(spec, 0.5); math.Abs(got-spec.FanMaxW/8) > 1e-9 {
+		t.Errorf("half-speed fan power = %v, want max/8", got)
+	}
+}
+
+func TestFreqFracForPowerInverts(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	for _, util := range []float64{0.3, 0.6, 1.0} {
+		target := GPUPower(spec, util, 0.85)
+		frac := FreqFracForPower(spec, util, target)
+		if math.Abs(frac-0.85) > 1e-9 {
+			t.Errorf("util %v: inverted frac = %v, want 0.85", util, frac)
+		}
+	}
+	// Unreachably low target clamps to the hardware minimum.
+	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
+	if got := FreqFracForPower(spec, 1, 10); got != minFrac {
+		t.Errorf("impossible target frac = %v, want min %v", got, minFrac)
+	}
+	// Idle GPUs need no capping.
+	if got := FreqFracForPower(spec, 0, 100); got != 1 {
+		t.Errorf("idle-GPU frac = %v, want 1", got)
+	}
+}
+
+func TestFitModelRecoversServerPower(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	rng := rand.New(rand.NewPCG(4, 4))
+	var loads, powers []float64
+	for i := 0; i < 500; i++ {
+		l := rng.Float64()
+		loads = append(loads, l)
+		powers = append(powers, ServerPowerAtUniformLoad(spec, l)+rng.NormFloat64()*20)
+	}
+	m, err := FitModel(loads, powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, actual []float64
+	for l := 0.0; l <= 1; l += 0.05 {
+		pred = append(pred, m.Predict(l))
+		actual = append(actual, ServerPowerAtUniformLoad(spec, l))
+	}
+	if mae := regress.MAE(pred, actual); mae > 60 {
+		t.Errorf("power model MAE = %.1f W, want < 60 W (< 1%% of TDP)", mae)
+	}
+}
+
+func TestFitModelError(t *testing.T) {
+	if _, err := FitModel([]float64{1}, []float64{100}); err == nil {
+		t.Error("expected insufficient-data error")
+	}
+}

@@ -1,0 +1,86 @@
+package power
+
+import (
+	"fmt"
+
+	"github.com/tapas-sim/tapas/internal/regress"
+)
+
+// HoursPerWeek is the length of an hour-of-week template.
+const HoursPerWeek = 7 * 24
+
+// Template is an hour-of-week power template: the chosen percentile of the
+// previous week's draw for each of the 168 hours. TAPAS uses templates to
+// predict row- and VM-level power for placement and routing (Fig. 14,
+// following SmartOClock's template approach).
+type Template struct {
+	Percentile float64
+	HourlyW    [HoursPerWeek]float64
+}
+
+// BuildTemplate constructs a template from a power history sampled
+// uniformly. samplesPerHour tells how many consecutive samples form one
+// hour; history longer than a week folds onto the hour-of-week axis.
+func BuildTemplate(history []float64, samplesPerHour int, percentile float64) (Template, error) {
+	if samplesPerHour <= 0 {
+		return Template{}, fmt.Errorf("power: samplesPerHour must be positive, got %d", samplesPerHour)
+	}
+	if len(history) < samplesPerHour*HoursPerWeek {
+		return Template{}, fmt.Errorf("power: need at least one week of history (%d samples), got %d",
+			samplesPerHour*HoursPerWeek, len(history))
+	}
+	// Each sample contributes to its own hour bucket and the two adjacent
+	// ones. With only one week of history a bucket would otherwise hold a
+	// handful of samples, making high percentiles no better than the sample
+	// max; the ±1 h window both enlarges the bucket and folds in the
+	// diurnal slope, which is what makes P99 templates conservative.
+	var buckets [HoursPerWeek][]float64
+	for i, v := range history {
+		hour := (i / samplesPerHour) % HoursPerWeek
+		for _, h := range [3]int{hour - 1, hour, hour + 1} {
+			buckets[(h+HoursPerWeek)%HoursPerWeek] = append(buckets[(h+HoursPerWeek)%HoursPerWeek], v)
+		}
+	}
+	t := Template{Percentile: percentile}
+	for h := range buckets {
+		t.HourlyW[h] = regress.Percentile(buckets[h], percentile)
+	}
+	return t, nil
+}
+
+// Predict returns the template's power estimate for an hour-of-week index
+// (wraps modulo one week).
+func (t Template) Predict(hourOfWeek int) float64 {
+	h := hourOfWeek % HoursPerWeek
+	if h < 0 {
+		h += HoursPerWeek
+	}
+	return t.HourlyW[h]
+}
+
+// Peak returns the maximum hourly value in the template; placement uses the
+// template peak as the predicted peak demand of a row or VM.
+func (t Template) Peak() float64 {
+	peak := t.HourlyW[0]
+	for _, v := range t.HourlyW[1:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// PredictionErrors evaluates a template against a later week of actuals and
+// returns the signed percentage error per sample ((pred−actual)/actual·100).
+// Positive = overprediction. This generates the CDFs of Fig. 14.
+func (t Template) PredictionErrors(actuals []float64, samplesPerHour int) []float64 {
+	errs := make([]float64, 0, len(actuals))
+	for i, a := range actuals {
+		if a <= 0 {
+			continue
+		}
+		hour := (i / samplesPerHour) % HoursPerWeek
+		errs = append(errs, (t.HourlyW[hour]-a)/a*100)
+	}
+	return errs
+}

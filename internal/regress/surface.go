@@ -1,0 +1,71 @@
+package regress
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Surface models z = f(x, y) as a piecewise model over segments of x, with a
+// polynomial in x and a linear term in y per segment:
+//
+//	z = a + b·x + c·x² + d·y        (within each x-segment)
+//
+// This is the functional form TAPAS uses for the per-server inlet model
+// (Eq. 1): x is the outside temperature (piecewise, because cooling behaves
+// differently below 15 °C, between 15–25 °C, and above), and y is the
+// datacenter load fraction, whose effect is roughly linear (Fig. 5).
+type Surface struct {
+	Knots  []float64 // interior x boundaries, ascending
+	Pieces []Linear  // len(Knots)+1 models over features [1, x, x², y]
+}
+
+// Eval evaluates the surface at (x, y).
+func (s Surface) Eval(x, y float64) float64 {
+	idx := sort.SearchFloat64s(s.Knots, x)
+	return s.Pieces[idx].Eval([]float64{1, x, x * x, y})
+}
+
+// FitSurface fits the piecewise surface to samples (x[i], y[i]) → z[i].
+// Segments lacking enough samples inherit the nearest fitted segment.
+func FitSurface(x, y, z []float64, knots []float64) (Surface, error) {
+	if len(x) != len(y) || len(x) != len(z) {
+		return Surface{}, fmt.Errorf("regress: surface sample lengths differ: %d/%d/%d", len(x), len(y), len(z))
+	}
+	if !sort.Float64sAreSorted(knots) {
+		return Surface{}, fmt.Errorf("regress: knots must be ascending")
+	}
+	nseg := len(knots) + 1
+	segF := make([][][]float64, nseg)
+	segZ := make([][]float64, nseg)
+	for i, xi := range x {
+		s := sort.SearchFloat64s(knots, xi)
+		segF[s] = append(segF[s], []float64{1, xi, xi * xi, y[i]})
+		segZ[s] = append(segZ[s], z[i])
+	}
+	pieces := make([]Linear, nseg)
+	fitted := make([]bool, nseg)
+	anyFit := false
+	for s := 0; s < nseg; s++ {
+		if len(segF[s]) >= 8 { // 4 params, demand 2× samples for stability
+			m, err := FitLinear(segF[s], segZ[s])
+			if err == nil {
+				pieces[s], fitted[s] = m, true
+				anyFit = true
+			}
+		}
+	}
+	if !anyFit {
+		return Surface{}, ErrInsufficientData
+	}
+	for s := 1; s < nseg; s++ {
+		if !fitted[s] && fitted[s-1] {
+			pieces[s], fitted[s] = pieces[s-1], true
+		}
+	}
+	for s := nseg - 2; s >= 0; s-- {
+		if !fitted[s] && fitted[s+1] {
+			pieces[s], fitted[s] = pieces[s+1], true
+		}
+	}
+	return Surface{Knots: append([]float64(nil), knots...), Pieces: pieces}, nil
+}

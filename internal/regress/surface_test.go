@@ -1,0 +1,102 @@
+package regress
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// inletTruth mimics the paper's inlet behaviour: flat below 15 °C outside,
+// linear 15–25 °C, damped above 25 °C, plus a linear DC-load term.
+func inletTruth(outside, load float64) float64 {
+	var base float64
+	switch {
+	case outside < 15:
+		base = 18
+	case outside < 25:
+		base = 18 + 0.5*(outside-15)
+	default:
+		base = 23 + 0.2*(outside-25)
+	}
+	return base + 2*load
+}
+
+func TestFitSurfaceInletShape(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	var xs, ys, zs []float64
+	for i := 0; i < 3000; i++ {
+		o := rng.Float64()*40 - 2 // −2..38 °C outside
+		l := rng.Float64()        // 0..1 load
+		xs = append(xs, o)
+		ys = append(ys, l)
+		zs = append(zs, inletTruth(o, l)+rng.NormFloat64()*0.2)
+	}
+	s, err := FitSurface(xs, ys, zs, []float64{15, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports MAE < 1 °C for this family; with σ=0.2 noise we
+	// should easily be below 0.5 °C on held-out points.
+	var pred, actual []float64
+	for i := 0; i < 500; i++ {
+		o := rng.Float64()*40 - 2
+		l := rng.Float64()
+		pred = append(pred, s.Eval(o, l))
+		actual = append(actual, inletTruth(o, l))
+	}
+	if mae := MAE(pred, actual); mae > 0.5 {
+		t.Errorf("surface MAE = %v, want < 0.5", mae)
+	}
+}
+
+func TestFitSurfaceLoadSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	var xs, ys, zs []float64
+	for i := 0; i < 2000; i++ {
+		o := rng.Float64() * 40
+		l := rng.Float64()
+		xs = append(xs, o)
+		ys = append(ys, l)
+		zs = append(zs, inletTruth(o, l))
+	}
+	s, err := FitSurface(xs, ys, zs, []float64{15, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ∂inlet/∂load must be ≈ 2 °C across the range (Fig. 5).
+	delta := s.Eval(35, 1) - s.Eval(35, 0)
+	if math.Abs(delta-2) > 0.3 {
+		t.Errorf("load sensitivity = %v °C, want ≈ 2", delta)
+	}
+}
+
+func TestFitSurfaceSparseSegmentsInherit(t *testing.T) {
+	// Only warm data; cold-segment evaluation must still return something
+	// sensible (inherited), not zero.
+	var xs, ys, zs []float64
+	for i := 0; i < 200; i++ {
+		o := 26 + float64(i%10)
+		xs = append(xs, o)
+		ys = append(ys, 0.5)
+		zs = append(zs, inletTruth(o, 0.5))
+	}
+	s, err := FitSurface(xs, ys, zs, []float64{15, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Eval(5, 0.5); got < 10 || got > 40 {
+		t.Errorf("inherited segment Eval = %v, want plausible temperature", got)
+	}
+}
+
+func TestFitSurfaceErrors(t *testing.T) {
+	if _, err := FitSurface([]float64{1}, []float64{1, 2}, []float64{1}, nil); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := FitSurface([]float64{1}, []float64{1}, []float64{1}, []float64{9, 3}); err == nil {
+		t.Error("expected unsorted-knots error")
+	}
+	if _, err := FitSurface(nil, nil, nil, []float64{15}); err == nil {
+		t.Error("expected insufficient-data error")
+	}
+}

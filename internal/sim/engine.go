@@ -1,0 +1,409 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/power"
+	"github.com/tapas-sim/tapas/internal/thermal"
+	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/units"
+)
+
+// dynPowerExp matches the DVFS exponent of the power physics; used to
+// convert power-scale factors into frequency-scale factors.
+const dynPowerExp = 2.5
+
+// capRecovery is the per-tick multiplicative recovery of frequency caps once
+// the pressure that caused them subsides.
+const capRecovery = 1.05
+
+// Run executes a scenario under a policy and returns the collected metrics.
+func Run(sc Scenario, pol Policy) (*Result, error) {
+	if sc.Tick <= 0 {
+		return nil, fmt.Errorf("sim: non-positive tick %v", sc.Tick)
+	}
+	dc, err := layout.New(sc.Layout)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Oversubscribe > 0 {
+		dc.AddRacks(sc.Oversubscribe)
+	}
+	wc := sc.Workload
+	wc.Servers = len(dc.Servers)
+	w, err := trace.Generate(wc)
+	if err != nil {
+		return nil, err
+	}
+	outside := trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, wc.Seed^0xd00d)
+	st := cluster.NewState(dc, w)
+
+	st.Tick = sc.Tick
+	seedHistory(st, w)
+	if init, ok := pol.(Initializer); ok {
+		if err := init.Init(st); err != nil {
+			return nil, fmt.Errorf("sim: policy init: %w", err)
+		}
+	}
+	r := &runner{sc: sc, pol: pol, st: st, outside: outside}
+	return r.run()
+}
+
+// Initializer is an optional policy extension invoked once before the run,
+// e.g. for offline profiling (§4.5).
+type Initializer interface {
+	Init(st *cluster.State) error
+}
+
+// seedHistory pre-populates the per-customer and per-endpoint demand
+// estimates from the week preceding the simulation window — the "previous
+// week" history the paper's placement predictions rely on (§3.1, Fig. 14).
+// Policies that ignore history (the Baseline) are unaffected.
+func seedHistory(st *cluster.State, w *trace.Workload) {
+	for _, vm := range w.VMs {
+		if vm.Kind != trace.IaaS {
+			continue
+		}
+		peak := 0.0
+		for h := 0; h < 7*24; h++ {
+			if l := vm.Load.At(time.Duration(h) * time.Hour); l > peak {
+				peak = l
+			}
+		}
+		st.ObserveCustomerLoad(vm.Customer, peak)
+	}
+	for _, ep := range w.Endpoints {
+		peak := 0.0
+		for h := 0; h < 7*24; h++ {
+			p, o := ep.DemandTokens(time.Duration(h)*time.Hour, time.Minute)
+			if d := (p + o) / 60 / float64(ep.NumVMs); d > peak {
+				peak = d
+			}
+		}
+		st.ObserveEndpointDemand(ep.ID, peak)
+	}
+}
+
+type runner struct {
+	sc      Scenario
+	pol     Policy
+	st      *cluster.State
+	outside *trace.OutsideTemp
+
+	thermalCap    []float64 // hardware throttle factor per server
+	aisleViolated []bool    // airflow demand exceeded supply this tick
+	throttledSrv  []bool    // hardware thermal throttle hit this tick
+	prevDCLoad    float64
+	pending       []int // VM IDs awaiting placement
+	nextVM        int
+	res           *Result
+}
+
+func (r *runner) run() (*Result, error) {
+	st := r.st
+	ticks := int(r.sc.Duration / r.sc.Tick)
+	r.res = &Result{Policy: r.pol.Name(), Tick: r.sc.Tick, Ticks: ticks}
+	r.res.MaxTempC = make([]float64, 0, ticks)
+	r.res.PeakRowPowerW = make([]float64, 0, ticks)
+	r.res.TotalPowerW = make([]float64, 0, ticks)
+	if r.sc.RecordRowSeries {
+		r.res.RowPowerW = make([][]float64, len(st.DC.Rows))
+	}
+	n := len(st.DC.Servers)
+	r.thermalCap = make([]float64, n)
+	idlePower := power.ServerPowerAtUniformLoad(st.Spec, 0)
+	for i := range r.thermalCap {
+		r.thermalCap[i] = 1
+		st.ServerPowerW[i] = idlePower // seed the fan-control lag
+	}
+	r.aisleViolated = make([]bool, len(st.DC.Aisles))
+	r.throttledSrv = make([]bool, n)
+	r.prevDCLoad = 0.3
+
+	for ti := 0; ti < ticks; ti++ {
+		now := time.Duration(ti+1) * r.sc.Tick
+		wall := r.sc.StartOffset + now
+		st.Now = now
+		st.Wall = wall
+		st.OutsideC = r.outside.At(wall)
+		st.DCLoadFrac = r.prevDCLoad
+
+		r.applyFailures(now)
+		r.churnVMs(now)
+		r.routeDemand(wall)
+		r.pol.Configure(st)
+		r.airflowStep()
+		r.stepServers(wall)
+		r.thermalStep()
+		r.powerStep()
+		st.RecordHistory(r.sc.Tick)
+		if r.sc.Observer != nil {
+			r.sc.Observer(st)
+		}
+	}
+	// Harvest instances still running at the end.
+	for _, vm := range st.VMs {
+		if vm.Instance != nil {
+			r.harvest(vm)
+		}
+	}
+	return r.res, nil
+}
+
+// applyFailures sets the emergency multipliers for the current time.
+func (r *runner) applyFailures(now time.Duration) {
+	airflow, powerMult := 1.0, 1.0
+	for _, f := range r.sc.Failures {
+		if now >= f.At && now < f.At+f.Duration {
+			switch f.Kind {
+			case CoolingFailure:
+				airflow = 0.90
+			case PowerFailure:
+				powerMult = 0.75
+			}
+		}
+	}
+	r.st.AirflowLimitFrac = airflow
+	r.st.Budget.SetEmergency(powerMult)
+}
+
+// churnVMs processes departures and (re)tries placements.
+func (r *runner) churnVMs(now time.Duration) {
+	st := r.st
+	for _, vm := range st.VMs {
+		if vm.Server >= 0 && !vm.Spec.Active(now) {
+			if vm.Instance != nil {
+				r.harvest(vm)
+			}
+			st.Remove(vm.Spec.ID)
+		}
+	}
+	for r.nextVM < len(st.VMs) && st.VMs[r.nextVM].Spec.Arrival <= now {
+		r.pending = append(r.pending, r.nextVM)
+		r.nextVM++
+	}
+	keep := r.pending[:0]
+	for _, vmID := range r.pending {
+		vm := st.VMs[vmID]
+		if !vm.Spec.Active(now) {
+			continue // expired before it could be placed
+		}
+		if srv, ok := r.pol.Place(st, vm); ok {
+			if err := st.Place(vmID, srv); err == nil {
+				continue
+			}
+		}
+		r.res.PlacementRejects++
+		keep = append(keep, vmID)
+	}
+	r.pending = keep
+}
+
+// routeDemand distributes each endpoint's token demand via the policy.
+func (r *runner) routeDemand(wall time.Duration) {
+	st := r.st
+	for _, ep := range st.Work.Endpoints {
+		prompt, output := ep.DemandTokens(wall, r.sc.Tick)
+		if prompt+output <= 0 {
+			continue
+		}
+		insts := st.EndpointInstances(ep.ID)
+		if len(insts) == 0 {
+			continue
+		}
+		st.ObserveEndpointDemand(ep.ID, (prompt+output)/r.sc.Tick.Seconds()/float64(len(insts)))
+		r.res.SaaSDemandTokens += prompt + output
+		r.pol.Route(st, ep, prompt, output)
+	}
+}
+
+// airflowStep derives per-server airflow from the previous tick's power
+// (fans chase heat, so fan control lags load by one tick), aggregates aisle
+// demand, and invokes the policy when an aisle out-draws its AHUs.
+func (r *runner) airflowStep() {
+	st := r.st
+	spec := st.Spec
+	idleP := power.ServerPowerAtUniformLoad(spec, 0)
+	maxP := spec.ServerTDPW
+	for a := range st.AisleDemandCFM {
+		st.AisleDemandCFM[a] = 0
+	}
+	for _, s := range st.DC.Servers {
+		heatFrac := units.Clamp01((st.ServerPowerW[s.ID] - idleP) / (maxP - idleP))
+		af := thermal.Airflow(spec, heatFrac)
+		st.ServerAirflowCFM[s.ID] = af
+		st.AisleDemandCFM[s.Aisle] += af
+	}
+	for a := range st.AisleDemandCFM {
+		limit := st.AisleLimitCFM(a)
+		r.aisleViolated[a] = st.AisleDemandCFM[a] > limit
+		if r.aisleViolated[a] {
+			r.pol.CapAisle(st, a, st.AisleDemandCFM[a], limit)
+		}
+		st.AisleRecircC[a] = thermal.RecirculationPenalty(st.AisleDemandCFM[a], limit)
+	}
+}
+
+// stepServers advances SaaS instances and computes per-GPU power fractions
+// for every server.
+func (r *runner) stepServers(wall time.Duration) {
+	st := r.st
+	spec := st.Spec
+	idleFrac := spec.GPUIdleW / spec.GPUTDPW
+	for _, s := range st.DC.Servers {
+		// Caps recover gradually, and only while the constraints that
+		// motivated them sit comfortably below their limits — otherwise
+		// recovery and re-capping oscillate across the limit every tick.
+		rowOK := st.RowPowerW[s.Row] < st.Budget.RowLimitW(s.Row)*0.93
+		aisleOK := st.AisleDemandCFM[s.Aisle] < st.AisleLimitCFM(s.Aisle)*0.93
+		if rowOK && aisleOK {
+			st.ServerFreqCap[s.ID] = math.Min(1, st.ServerFreqCap[s.ID]*capRecovery)
+		}
+		coolOK := true
+		for _, tc := range st.GPUTempC[s.ID] {
+			if tc > spec.ThrottleTempC-5 {
+				coolOK = false
+				break
+			}
+		}
+		if coolOK {
+			r.thermalCap[s.ID] = math.Min(1, r.thermalCap[s.ID]*capRecovery)
+		}
+		cap := st.ServerFreqCap[s.ID] * r.thermalCap[s.ID]
+
+		vmID := st.ServerVM[s.ID]
+		fracs := st.GPUPowerFrac[s.ID]
+		loadFrac := 0.0
+		switch {
+		case vmID == -1:
+			for g := range fracs {
+				fracs[g] = idleFrac
+			}
+		case st.VMs[vmID].Spec.Kind == trace.IaaS:
+			vm := st.VMs[vmID]
+			util := vm.Spec.Load.At(wall)
+			st.ObserveCustomerLoad(vm.Spec.Customer, util)
+			frac := power.GPUPower(spec, util, cap) / spec.GPUTDPW
+			for g := range fracs {
+				fracs[g] = frac
+			}
+			loadFrac = util
+			r.res.IaaSFreqCapSum += 1 - cap
+			r.res.IaaSServerTicks++
+		default: // SaaS
+			in := st.VMs[vmID].Instance
+			in.SpeedFactor = cap
+			in.Step(r.sc.Tick)
+			base := in.GPUPowerFrac()
+			// Frequency capping shrinks the dynamic share of GPU power.
+			eff := idleFrac + (base-idleFrac)*math.Pow(cap, dynPowerExp)
+			for g := range fracs {
+				if g < in.ActiveGPUs() {
+					fracs[g] = eff
+				} else {
+					fracs[g] = idleFrac
+				}
+			}
+			loadFrac = in.BusyFrac * float64(in.ActiveGPUs()) / float64(spec.GPUsPerServer)
+		}
+		st.ServerLoadFrac[s.ID] = loadFrac
+	}
+	r.res.ServerTicks += len(st.DC.Servers)
+}
+
+// thermalStep computes inlet and GPU temperatures, applies hardware thermal
+// throttling, and counts thermal events: a server-tick is thermally capped
+// when its GPUs throttle or its aisle's airflow is violated.
+func (r *runner) thermalStep() {
+	st := r.st
+	spec := st.Spec
+	idleFrac := spec.GPUIdleW / spec.GPUTDPW
+	maxTemp := 0.0
+	for _, s := range st.DC.Servers {
+		inlet := thermal.InletTemp(s, st.OutsideC, st.DCLoadFrac, st.AisleRecircC[s.Aisle])
+		st.ServerInletC[s.ID] = inlet
+		throttled := false
+		fracs := st.GPUPowerFrac[s.ID]
+		for g := range fracs {
+			temp := thermal.GPUTemp(s, g, inlet, fracs[g])
+			if temp > spec.ThrottleTempC && fracs[g] > idleFrac {
+				throttled = true
+				allowed := thermal.MaxPowerFrac(s, g, inlet, spec.ThrottleTempC)
+				if allowed < idleFrac {
+					allowed = idleFrac // hardware cannot go below idle draw
+				}
+				if allowed < fracs[g] {
+					fracs[g] = allowed
+					temp = thermal.GPUTemp(s, g, inlet, fracs[g])
+				}
+			}
+			st.GPUTempC[s.ID][g] = temp
+			if temp > maxTemp {
+				maxTemp = temp
+			}
+		}
+		r.throttledSrv[s.ID] = throttled
+		if throttled {
+			// The hardware clock-down slows next tick's work.
+			r.thermalCap[s.ID] = math.Max(0.3, r.thermalCap[s.ID]*0.85)
+		}
+		if throttled || r.aisleViolated[s.Aisle] {
+			r.res.ThermalThrottleSrvTicks++
+		}
+	}
+	r.res.MaxTempC = append(r.res.MaxTempC, maxTemp)
+}
+
+// powerStep computes server and row power, invokes the policy's capping
+// response for over-budget rows, and records the tick's peaks. A server-tick
+// counts as power-capped when its row exceeds its effective limit.
+func (r *runner) powerStep() {
+	st := r.st
+	spec := st.Spec
+	for row := range st.RowPowerW {
+		st.RowPowerW[row] = 0
+	}
+	total := 0.0
+	for _, s := range st.DC.Servers {
+		sum := 0.0
+		for _, f := range st.GPUPowerFrac[s.ID] {
+			sum += f * spec.GPUTDPW
+		}
+		load := st.ServerLoadFrac[s.ID]
+		p := power.ServerPower(spec, sum, load, thermal.FanFrac(load))
+		st.ServerPowerW[s.ID] = p
+		st.RowPowerW[s.Row] += p
+		total += p
+	}
+	peak := 0.0
+	for row, draw := range st.RowPowerW {
+		limit := st.Budget.RowLimitW(row)
+		if draw > limit {
+			r.pol.CapRow(st, row, draw, limit)
+			r.res.PowerCapSrvTicks += len(st.DC.Rows[row].Servers)
+		}
+		if draw > peak {
+			peak = draw
+		}
+		if r.sc.RecordRowSeries {
+			r.res.RowPowerW[row] = append(r.res.RowPowerW[row], draw)
+		}
+	}
+	r.res.PeakRowPowerW = append(r.res.PeakRowPowerW, peak)
+	r.res.TotalPowerW = append(r.res.TotalPowerW, total)
+	r.prevDCLoad = total / (float64(len(st.DC.Servers)) * spec.ServerTDPW)
+}
+
+// harvest folds a departing instance's cumulative service counters into the
+// result.
+func (r *runner) harvest(vm *cluster.VM) {
+	in := vm.Instance
+	r.res.SaaSServedTokens += in.ServedTokens
+	r.res.SaaSCompletedReqs += in.CompletedRequests
+	r.res.SaaSViolatedReqs += in.SLOViolatedReqs
+	r.res.SaaSQualityWeight += in.QualityWeight
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/regress"
+)
+
+// Result aggregates everything a run produces.
+type Result struct {
+	Policy string
+	Tick   time.Duration
+	Ticks  int
+
+	// Per-tick series.
+	MaxTempC      []float64 // hottest GPU in the datacenter
+	PeakRowPowerW []float64 // hungriest row
+	TotalPowerW   []float64
+	RowPowerW     [][]float64 // per row, only when Scenario.RecordRowSeries
+
+	// Event accounting in server-ticks. A server-tick is thermally capped
+	// when its GPUs hardware-throttle or its aisle out-draws the AHUs;
+	// power-capped when its row exceeds the effective power limit.
+	ServerTicks             int
+	ThermalThrottleSrvTicks int
+	PowerCapSrvTicks        int
+	PlacementRejects        int
+
+	// SaaS service quality.
+	SaaSDemandTokens  float64
+	SaaSServedTokens  float64
+	SaaSCompletedReqs float64
+	SaaSViolatedReqs  float64
+	SaaSQualityWeight float64
+
+	// IaaS impact.
+	IaaSFreqCapSum  float64 // Σ (1 − freqCap) over IaaS server-ticks
+	IaaSServerTicks int
+}
+
+// MaxTemp returns the run-wide maximum GPU temperature.
+func (r *Result) MaxTemp() float64 { return maxOf(r.MaxTempC) }
+
+// PeakPower returns the run-wide peak row power.
+func (r *Result) PeakPower() float64 { return maxOf(r.PeakRowPowerW) }
+
+// PercentilePeakPower returns a percentile of the per-tick peak row power
+// series, useful for comparing sustained peaks rather than single spikes.
+func (r *Result) PercentilePeakPower(p float64) float64 {
+	return regress.Percentile(r.PeakRowPowerW, p)
+}
+
+// PercentileMaxTemp returns a percentile of the per-tick max temperature.
+func (r *Result) PercentileMaxTemp(p float64) float64 {
+	return regress.Percentile(r.MaxTempC, p)
+}
+
+// ThrottleFrac returns the fraction of server-time under thermal throttling.
+func (r *Result) ThrottleFrac() float64 {
+	if r.ServerTicks == 0 {
+		return 0
+	}
+	return float64(r.ThermalThrottleSrvTicks) / float64(r.ServerTicks)
+}
+
+// PowerCapFrac returns the fraction of server-time under power capping.
+func (r *Result) PowerCapFrac() float64 {
+	if r.ServerTicks == 0 {
+		return 0
+	}
+	return float64(r.PowerCapSrvTicks) / float64(r.ServerTicks)
+}
+
+// AvgQuality returns the quality-weighted average over completed requests.
+func (r *Result) AvgQuality() float64 {
+	if r.SaaSCompletedReqs == 0 {
+		return 1
+	}
+	return r.SaaSQualityWeight / r.SaaSCompletedReqs
+}
+
+// SLOViolationRate returns the fraction of completed requests that violated
+// their latency SLO.
+func (r *Result) SLOViolationRate() float64 {
+	if r.SaaSCompletedReqs == 0 {
+		return 0
+	}
+	return r.SaaSViolatedReqs / r.SaaSCompletedReqs
+}
+
+// ServiceRate returns served/demanded SaaS tokens (1 = kept up with load).
+func (r *Result) ServiceRate() float64 {
+	if r.SaaSDemandTokens == 0 {
+		return 1
+	}
+	rate := r.SaaSServedTokens / r.SaaSDemandTokens
+	if rate > 1 {
+		return 1
+	}
+	return rate
+}
+
+// IaaSPerfLoss returns the average IaaS performance loss from frequency
+// capping (0 = unaffected, 0.35 = 35% capped on average).
+func (r *Result) IaaSPerfLoss() float64 {
+	if r.IaaSServerTicks == 0 {
+		return 0
+	}
+	return r.IaaSFreqCapSum / float64(r.IaaSServerTicks)
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

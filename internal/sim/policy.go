@@ -1,0 +1,123 @@
+// Package sim is the discrete-time datacenter simulator: it replays the
+// workload trace against the layout/thermal/power physics, invokes a
+// scheduling Policy at each decision point (VM placement, request routing,
+// instance configuration, power capping), applies hardware thermal
+// throttling and power capping, injects cooling/power failures, and records
+// the metrics behind the paper's evaluation figures.
+package sim
+
+import (
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// Policy is the scheduling surface TAPAS and the baselines implement.
+type Policy interface {
+	// Name identifies the policy in results.
+	Name() string
+	// Place selects a server for a newly arrived VM. ok=false rejects the
+	// placement (retried next tick).
+	Place(st *cluster.State, vm *cluster.VM) (serverID int, ok bool)
+	// Route distributes an endpoint's per-tick token demand across its
+	// instances by calling EnqueueBulk on them.
+	Route(st *cluster.State, ep trace.EndpointSpec, promptTokens, outputTokens float64)
+	// Configure may reconfigure SaaS instances (frequency, batch, TP,
+	// model, quantization) based on current telemetry.
+	Configure(st *cluster.State)
+	// CapRow reacts to a row exceeding its power limit by lowering
+	// ServerFreqCap entries for servers in that row (applied next tick).
+	CapRow(st *cluster.State, row int, drawW, limitW float64)
+	// CapAisle reacts to an aisle's airflow demand exceeding its
+	// provisioned supply (heat recirculation pressure).
+	CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM float64)
+}
+
+// FailureKind enumerates infrastructure emergencies (§5.4).
+type FailureKind int
+
+const (
+	// CoolingFailure models an AHU/chiller loss: aisle airflow limited to
+	// 90% of provisioned.
+	CoolingFailure FailureKind = iota
+	// PowerFailure models a UPS loss in the 4N/3 group: row power limited
+	// to 75% of provisioned.
+	PowerFailure
+)
+
+func (k FailureKind) String() string {
+	if k == PowerFailure {
+		return "power"
+	}
+	return "cooling"
+}
+
+// FailureEvent schedules an emergency window.
+type FailureEvent struct {
+	Kind     FailureKind
+	At       time.Duration
+	Duration time.Duration
+}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	Layout   layout.Config
+	Workload trace.WorkloadConfig
+	Region   trace.Region
+	Duration time.Duration
+	Tick     time.Duration
+	// StartOffset shifts the time-of-day phase of all load and weather
+	// patterns, letting short scenarios run at the diurnal peak. VM
+	// arrivals and lifetimes stay on the simulation clock.
+	StartOffset   time.Duration
+	Oversubscribe float64 // extra rack ratio added at fixed envelopes
+	Failures      []FailureEvent
+	// RecordRowSeries keeps the full per-row power series (needed by
+	// Fig. 10-style outputs; costs memory on long runs).
+	RecordRowSeries bool
+	// Observer, when set, is invoked at the end of every tick with the live
+	// cluster state. The characterization experiments use it to sample
+	// sensors; it must not mutate the state.
+	Observer func(st *cluster.State)
+}
+
+// DefaultScenario returns the paper's large-scale setup: ~1000 A100 servers,
+// 50/50 IaaS/SaaS, one week at one-minute ticks, temperate region.
+func DefaultScenario() Scenario {
+	lc := layout.DefaultConfig()
+	return Scenario{
+		Layout: lc,
+		Workload: trace.WorkloadConfig{
+			Servers:      lc.Aisles * 2 * lc.RacksPerRow * lc.ServersPerRack,
+			SaaSFraction: 0.5,
+			Duration:     7 * 24 * time.Hour,
+			Endpoints:    10,
+			Seed:         42,
+		},
+		Region:   trace.RegionTemperate,
+		Duration: 7 * 24 * time.Hour,
+		Tick:     time.Minute,
+	}
+}
+
+// SmallScenario returns the paper's real-cluster setup: 80 servers in two
+// rows, 50/50 mix, one hour.
+func SmallScenario() Scenario {
+	lc := layout.SmallConfig()
+	return Scenario{
+		Layout: lc,
+		Workload: trace.WorkloadConfig{
+			Servers:      lc.Aisles * 2 * lc.RacksPerRow * lc.ServersPerRack,
+			SaaSFraction: 0.5,
+			Duration:     time.Hour,
+			Endpoints:    3,
+			Seed:         42,
+		},
+		Region:      trace.RegionHot,
+		Duration:    time.Hour,
+		Tick:        time.Minute,
+		StartOffset: 13 * time.Hour, // early-afternoon diurnal peak
+	}
+}

@@ -1,0 +1,163 @@
+package thermal
+
+import (
+	"fmt"
+
+	"github.com/tapas-sim/tapas/internal/regress"
+)
+
+// DefaultKnots are the outside-temperature segment boundaries used when
+// fitting inlet models; they bracket the cooling plant's two behavioural
+// knees.
+var DefaultKnots = []float64{15, 25}
+
+// InletModel is the learned per-server inlet-temperature model (Eq. 1):
+// T_inlet,s = f_s(T_outside, Load_DC).
+type InletModel struct {
+	PerServer []regress.Surface
+}
+
+// Predict estimates the inlet temperature of a server.
+func (m *InletModel) Predict(serverID int, outsideC, dcLoadFrac float64) float64 {
+	return m.PerServer[serverID].Eval(outsideC, dcLoadFrac)
+}
+
+// InletSample is one 10-minute sensor aggregate used to fit inlet models.
+type InletSample struct {
+	OutsideC   float64
+	DCLoadFrac float64
+	// InletC holds the observed inlet temperature per server.
+	InletC []float64
+}
+
+// FitInletModel fits a piecewise-polynomial surface per server from sensor
+// history, the regression family the paper selects for its < 1 °C MAE and
+// sane extrapolation.
+func FitInletModel(samples []InletSample, nServers int) (*InletModel, error) {
+	if len(samples) == 0 {
+		return nil, regress.ErrInsufficientData
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		if len(s.InletC) != nServers {
+			return nil, fmt.Errorf("thermal: sample %d has %d servers, want %d", i, len(s.InletC), nServers)
+		}
+		xs[i] = s.OutsideC
+		ys[i] = s.DCLoadFrac
+	}
+	m := &InletModel{PerServer: make([]regress.Surface, nServers)}
+	zs := make([]float64, len(samples))
+	for sv := 0; sv < nServers; sv++ {
+		for i, s := range samples {
+			zs[i] = s.InletC[sv]
+		}
+		surf, err := regress.FitSurface(xs, ys, zs, DefaultKnots)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: fitting inlet model for server %d: %w", sv, err)
+		}
+		m.PerServer[sv] = surf
+	}
+	return m, nil
+}
+
+// GPUTempModel is the learned per-GPU temperature model (Eq. 2):
+// T_GPU,s,g = f_s,g(T_inlet,s, Load_GPU,g). Linear in both inputs.
+type GPUTempModel struct {
+	// PerGPU[serverID][gpu] over features [1, inletC, powerFrac].
+	PerGPU [][]regress.Linear
+}
+
+// Predict estimates the temperature of one GPU.
+func (m *GPUTempModel) Predict(serverID, gpu int, inletC, powerFrac float64) float64 {
+	return m.PerGPU[serverID][gpu].Eval([]float64{1, inletC, powerFrac})
+}
+
+// HeadroomPowerFrac inverts the learned model: the highest power fraction
+// the GPU can run while staying at or below limitC for the given inlet.
+// This is what the Instance Configurator and router use to compute thermal
+// headroom. Clamped to [0, 1].
+func (m *GPUTempModel) HeadroomPowerFrac(serverID, gpu int, inletC, limitC float64) float64 {
+	w := m.PerGPU[serverID][gpu].Weights
+	// temp = w0 + w1·inlet + w2·powerFrac  ⇒  powerFrac = (limit−w0−w1·inlet)/w2
+	if w[2] <= 0 {
+		return 1
+	}
+	v := (limitC - w[0] - w[1]*inletC) / w[2]
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// GPUSample is one observation of a single GPU used to fit Eq. 2.
+type GPUSample struct {
+	Server    int
+	GPU       int
+	InletC    float64
+	PowerFrac float64
+	TempC     float64
+}
+
+// FitGPUTempModel fits a linear model per (server, GPU) pair.
+func FitGPUTempModel(samples []GPUSample, nServers, gpusPerServer int) (*GPUTempModel, error) {
+	feats := make([][][]float64, nServers*gpusPerServer)
+	targets := make([][]float64, nServers*gpusPerServer)
+	for _, s := range samples {
+		if s.Server < 0 || s.Server >= nServers || s.GPU < 0 || s.GPU >= gpusPerServer {
+			return nil, fmt.Errorf("thermal: GPU sample out of range: server %d gpu %d", s.Server, s.GPU)
+		}
+		idx := s.Server*gpusPerServer + s.GPU
+		feats[idx] = append(feats[idx], []float64{1, s.InletC, s.PowerFrac})
+		targets[idx] = append(targets[idx], s.TempC)
+	}
+	m := &GPUTempModel{PerGPU: make([][]regress.Linear, nServers)}
+	for sv := 0; sv < nServers; sv++ {
+		m.PerGPU[sv] = make([]regress.Linear, gpusPerServer)
+		for g := 0; g < gpusPerServer; g++ {
+			idx := sv*gpusPerServer + g
+			if len(feats[idx]) < 6 {
+				return nil, fmt.Errorf("thermal: only %d samples for server %d gpu %d: %w",
+					len(feats[idx]), sv, g, regress.ErrInsufficientData)
+			}
+			lin, err := regress.FitLinear(feats[idx], targets[idx])
+			if err != nil {
+				return nil, fmt.Errorf("thermal: fitting gpu temp model server %d gpu %d: %w", sv, g, err)
+			}
+			m.PerGPU[sv][g] = lin
+		}
+	}
+	return m, nil
+}
+
+// AirflowModel is the learned linear airflow function f_air(Load) shared by
+// all servers of a given hardware generation ("All servers follow a similar
+// linear function", §2.1).
+type AirflowModel struct {
+	IdleCFM float64
+	MaxCFM  float64
+}
+
+// Predict returns the estimated airflow at a load fraction.
+func (m AirflowModel) Predict(loadFrac float64) float64 {
+	if loadFrac < 0 {
+		loadFrac = 0
+	}
+	if loadFrac > 1 {
+		loadFrac = 1
+	}
+	return m.IdleCFM + (m.MaxCFM-m.IdleCFM)*loadFrac
+}
+
+// FitAirflowModel fits the linear airflow curve from (load, airflow)
+// measurements taken at idle, full load, and a few intermediate settings.
+func FitAirflowModel(loads, airflows []float64) (AirflowModel, error) {
+	p, err := regress.FitPoly(loads, airflows, 1)
+	if err != nil {
+		return AirflowModel{}, fmt.Errorf("thermal: fitting airflow model: %w", err)
+	}
+	return AirflowModel{IdleCFM: p.Eval(0), MaxCFM: p.Eval(1)}, nil
+}

@@ -1,0 +1,129 @@
+// Package thermal implements both sides of the paper's cooling story:
+//
+//   - the ground-truth physics the simulator uses to produce sensor readings
+//     (inlet temperature as a function of outside temperature, datacenter
+//     load and spatial position; GPU/memory temperature as a function of
+//     inlet and GPU power; fan airflow; heat recirculation on AHU overload),
+//     and
+//   - the learned models TAPAS profiles from those readings (per-server
+//     piecewise surfaces for Eq. 1, per-GPU linear models for Eq. 2) with
+//     the < 1 °C MAE the paper reports.
+//
+// Scheduling policies must only consume the learned models; the physics is
+// reserved for the simulator.
+package thermal
+
+import (
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/units"
+)
+
+// Cooling constants mirrored from the paper's characterization (§2.1).
+const (
+	// InletFloorC is the minimum inlet temperature the cooling plant
+	// maintains to avoid humidity-induced failures.
+	InletFloorC = 18.0
+	// coldKneeC / hotKneeC bound the linear regime of the cooling curve:
+	// below 15 °C outside the inlet is held at the floor, above 25 °C the
+	// chillers dampen the slope.
+	coldKneeC = 15.0
+	hotKneeC  = 25.0
+	// linearSlope is the inlet °C gained per outside °C between the knees.
+	linearSlope = 0.5
+	// hotSlope is the damped slope above hotKneeC.
+	hotSlope = 0.2
+	// loadGainC is the inlet rise from zero to full datacenter load
+	// (Fig. 5 shows ≈ 2 °C).
+	loadGainC = 2.0
+	// recircGainC converts fractional aisle airflow deficit into an inlet
+	// penalty for every server in the aisle: hot exhaust returning to the
+	// cold aisle heats it quickly.
+	recircGainC = 30.0
+	// airHeatWPerCFMK relates server power to the inlet→outlet temperature
+	// rise: ΔT = P / (airHeatWPerCFMK · CFM). Derived from air density and
+	// specific heat at sea level.
+	airHeatWPerCFMK = 0.569
+)
+
+// CoolingCurve returns the aisle-ambient inlet temperature for a given
+// outside temperature and datacenter load fraction, before per-server
+// spatial offsets. This is the ground truth behind Figs. 2, 3 and 5.
+func CoolingCurve(outsideC, dcLoadFrac float64) float64 {
+	var base float64
+	switch {
+	case outsideC < coldKneeC:
+		base = InletFloorC
+	case outsideC < hotKneeC:
+		base = InletFloorC + linearSlope*(outsideC-coldKneeC)
+	default:
+		base = InletFloorC + linearSlope*(hotKneeC-coldKneeC) + hotSlope*(outsideC-hotKneeC)
+	}
+	return base + loadGainC*units.Clamp01(dcLoadFrac)
+}
+
+// InletTemp returns the ground-truth inlet temperature of a server given the
+// outside temperature, datacenter load fraction and any recirculation
+// penalty currently affecting its aisle.
+func InletTemp(s *layout.Server, outsideC, dcLoadFrac, recircC float64) float64 {
+	return CoolingCurve(outsideC, dcLoadFrac) + s.InletOffsetC + recircC
+}
+
+// GPUTemp returns the ground-truth steady-state temperature of GPU g on
+// server s at a given inlet temperature and GPU power fraction (power/TDP).
+// Matches Eq. 2: linear in both inputs with per-GPU heterogeneity.
+func GPUTemp(s *layout.Server, g int, inletC, powerFrac float64) float64 {
+	return inletC + s.GPUTempBiasC[g] + s.GPUTempGainC[g]*units.Clamp01(powerFrac)
+}
+
+// MemTemp returns the HBM temperature for a GPU running at gpuTempC with a
+// given memory intensity in [0,1]. Decode phases with small batches fetch
+// from memory constantly and push HBM above the GPU die (Fig. 15b); bulk
+// compute keeps it a few degrees cooler (Fig. 9).
+func MemTemp(gpuTempC, memIntensity float64) float64 {
+	return gpuTempC - 3 + 8*units.Clamp01(memIntensity)
+}
+
+// MaxPowerFrac returns the highest GPU power fraction server s GPU g can run
+// without its ground-truth temperature exceeding limitC at the given inlet.
+// Result is clamped to [0, 1]. Used by the simulator to apply hardware
+// thermal throttling.
+func MaxPowerFrac(s *layout.Server, g int, inletC, limitC float64) float64 {
+	gain := s.GPUTempGainC[g]
+	if gain <= 0 {
+		return 1
+	}
+	return units.Clamp01((limitC - inletC - s.GPUTempBiasC[g]) / gain)
+}
+
+// Airflow returns the fan airflow of a server at the given load fraction.
+// The paper measures a linear relationship matching manufacturer specs.
+func Airflow(spec layout.GPUSpec, loadFrac float64) float64 {
+	return units.Lerp(spec.AirflowIdleCFM, spec.AirflowMaxCFM, units.Clamp01(loadFrac))
+}
+
+// FanFrac returns the fan speed fraction (PWM) for a load fraction; airflow
+// is proportional to fan speed in the modulated range.
+func FanFrac(loadFrac float64) float64 {
+	return 0.3 + 0.7*units.Clamp01(loadFrac)
+}
+
+// RecirculationPenalty converts an aisle's airflow demand and provisioned
+// supply into an inlet temperature penalty. Zero while supply covers demand;
+// grows linearly with the fractional deficit once AHUs are out-drawn (§2.1:
+// insufficient AHU airflow leads to heat recirculation raising the
+// temperature of all servers in the two rows).
+func RecirculationPenalty(demandCFM, provCFM float64) float64 {
+	if provCFM <= 0 || demandCFM <= provCFM {
+		return 0
+	}
+	return recircGainC * (demandCFM - provCFM) / provCFM
+}
+
+// OutletTemp returns the server exhaust temperature given its inlet, total
+// power draw, and airflow.
+func OutletTemp(inletC, powerW, airflowCFM float64) float64 {
+	if airflowCFM <= 0 {
+		return inletC
+	}
+	return inletC + powerW/(airHeatWPerCFMK*airflowCFM)
+}

@@ -1,0 +1,215 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+func testServer(t *testing.T) *layout.Server {
+	t.Helper()
+	dc, err := layout.New(layout.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc.Servers[0]
+}
+
+func TestCoolingCurveRegimes(t *testing.T) {
+	// Cold: floor held at 18 °C regardless of how cold it gets outside.
+	if got := CoolingCurve(-5, 0); got != InletFloorC {
+		t.Errorf("cold regime inlet = %v, want %v", got, InletFloorC)
+	}
+	if got := CoolingCurve(10, 0); got != InletFloorC {
+		t.Errorf("cold regime inlet = %v, want %v", got, InletFloorC)
+	}
+	// Linear regime: inlet rises with outside.
+	mid1, mid2 := CoolingCurve(17, 0), CoolingCurve(23, 0)
+	if mid2 <= mid1 {
+		t.Errorf("linear regime not increasing: %v vs %v", mid1, mid2)
+	}
+	// Hot regime: slope dampens (cooling works harder).
+	slopeLinear := CoolingCurve(24, 0) - CoolingCurve(23, 0)
+	slopeHot := CoolingCurve(34, 0) - CoolingCurve(33, 0)
+	if slopeHot >= slopeLinear {
+		t.Errorf("hot slope %v should be below linear slope %v", slopeHot, slopeLinear)
+	}
+}
+
+func TestCoolingCurveContinuity(t *testing.T) {
+	// No jumps at the knees.
+	for _, knee := range []float64{15, 25} {
+		lo, hi := CoolingCurve(knee-1e-6, 0.5), CoolingCurve(knee+1e-6, 0.5)
+		if math.Abs(hi-lo) > 1e-3 {
+			t.Errorf("discontinuity at %v °C: %v vs %v", knee, lo, hi)
+		}
+	}
+}
+
+func TestCoolingCurveLoadEffect(t *testing.T) {
+	// Fig. 5: ≈ 2 °C between idle and fully loaded datacenter.
+	d := CoolingCurve(35, 1) - CoolingCurve(35, 0)
+	if math.Abs(d-loadGainC) > 1e-9 {
+		t.Errorf("load effect = %v, want %v", d, loadGainC)
+	}
+}
+
+func TestCoolingCurveMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		o1 := math.Mod(math.Abs(a), 45)
+		o2 := math.Mod(math.Abs(b), 45)
+		if o1 > o2 {
+			o1, o2 = o2, o1
+		}
+		return CoolingCurve(o2, 0.5) >= CoolingCurve(o1, 0.5)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInletTempIncludesOffsets(t *testing.T) {
+	s := testServer(t)
+	base := CoolingCurve(20, 0.5)
+	got := InletTemp(s, 20, 0.5, 0)
+	if math.Abs(got-(base+s.InletOffsetC)) > 1e-9 {
+		t.Errorf("inlet = %v, want base %v + offset %v", got, base, s.InletOffsetC)
+	}
+	withRecirc := InletTemp(s, 20, 0.5, 3)
+	if math.Abs(withRecirc-got-3) > 1e-9 {
+		t.Error("recirculation penalty not added")
+	}
+}
+
+func TestGPUTempLinearInPower(t *testing.T) {
+	s := testServer(t)
+	idle := GPUTemp(s, 0, 22, 0)
+	full := GPUTemp(s, 0, 22, 1)
+	if full <= idle {
+		t.Error("GPU temp must rise with power")
+	}
+	rise := full - idle
+	if rise < 30 || rise > 50 {
+		t.Errorf("full-load rise = %v °C, want ≈ 35–45 (Fig. 7 shape)", rise)
+	}
+	mid := GPUTemp(s, 0, 22, 0.5)
+	if math.Abs(mid-(idle+rise/2)) > 1e-9 {
+		t.Error("GPU temp not linear in power fraction")
+	}
+}
+
+func TestGPUTempClampsPowerFrac(t *testing.T) {
+	s := testServer(t)
+	if GPUTemp(s, 0, 22, 1.5) != GPUTemp(s, 0, 22, 1) {
+		t.Error("power fraction above 1 must clamp")
+	}
+	if GPUTemp(s, 0, 22, -0.5) != GPUTemp(s, 0, 22, 0) {
+		t.Error("negative power fraction must clamp")
+	}
+}
+
+func TestMaxPowerFracInvertsGPUTemp(t *testing.T) {
+	s := testServer(t)
+	inlet := 24.0
+	limit := s.GPU.ThrottleTempC
+	frac := MaxPowerFrac(s, 3, inlet, limit)
+	if frac <= 0 || frac > 1 {
+		t.Fatalf("frac = %v, want in (0,1]", frac)
+	}
+	if frac < 1 {
+		temp := GPUTemp(s, 3, inlet, frac)
+		if math.Abs(temp-limit) > 1e-6 {
+			t.Errorf("temp at max frac = %v, want %v", temp, limit)
+		}
+	}
+	// Impossibly hot inlet: no power allowed.
+	if got := MaxPowerFrac(s, 3, 90, limit); got != 0 {
+		t.Errorf("frac at 90 °C inlet = %v, want 0", got)
+	}
+	// Freezing inlet: full power fine.
+	if got := MaxPowerFrac(s, 3, -20, limit); got != 1 {
+		t.Errorf("frac at -20 °C inlet = %v, want 1", got)
+	}
+}
+
+func TestMemTempPhases(t *testing.T) {
+	// Compute-heavy (low memory intensity): HBM below die.
+	if MemTemp(70, 0.1) >= 70 {
+		t.Error("low-intensity HBM should sit below die temperature")
+	}
+	// Decode with tiny batches: HBM above die (Fig. 15b).
+	if MemTemp(70, 0.9) <= 70 {
+		t.Error("high-intensity HBM should exceed die temperature")
+	}
+}
+
+func TestAirflowLinearAndSpec(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	idle := Airflow(spec, 0)
+	full := Airflow(spec, 1)
+	if idle != spec.AirflowIdleCFM || full != spec.AirflowMaxCFM {
+		t.Errorf("airflow endpoints = %v/%v, want %v/%v", idle, full, spec.AirflowIdleCFM, spec.AirflowMaxCFM)
+	}
+	mid := Airflow(spec, 0.5)
+	if math.Abs(mid-(idle+full)/2) > 1e-9 {
+		t.Error("airflow not linear")
+	}
+	// Paper cross-check: 840 CFM at 80% PWM for A100. Our linear function
+	// in load ⇒ at the load giving 80% PWM, airflow ≈ 840.
+	loadFor80PWM := (0.8 - 0.3) / 0.7
+	if a := Airflow(spec, loadFor80PWM); math.Abs(a-840) > 25 {
+		t.Errorf("airflow at 80%% PWM load = %v, want ≈ 840", a)
+	}
+}
+
+func TestRecirculationPenalty(t *testing.T) {
+	if RecirculationPenalty(900, 1000) != 0 {
+		t.Error("no penalty while under provisioned airflow")
+	}
+	if RecirculationPenalty(1000, 1000) != 0 {
+		t.Error("no penalty at exactly provisioned airflow")
+	}
+	p := RecirculationPenalty(1100, 1000)
+	if math.Abs(p-recircGainC*0.1) > 1e-9 {
+		t.Errorf("10%% deficit penalty = %v, want %v", p, recircGainC*0.1)
+	}
+	if RecirculationPenalty(100, 0) != 0 {
+		t.Error("zero provisioned airflow must not divide by zero")
+	}
+}
+
+func TestRecirculationMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		d1 := math.Mod(math.Abs(a), 2000)
+		d2 := math.Mod(math.Abs(b), 2000)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return RecirculationPenalty(d2, 1000) >= RecirculationPenalty(d1, 1000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutletTemp(t *testing.T) {
+	// 6.5 kW through ~1050 CFM ⇒ ≈ 10–12 °C rise.
+	rise := OutletTemp(25, 6500, 1050) - 25
+	if rise < 8 || rise > 14 {
+		t.Errorf("outlet rise = %v °C, want ≈ 11", rise)
+	}
+	if OutletTemp(25, 6500, 0) != 25 {
+		t.Error("zero airflow must return inlet unchanged")
+	}
+}
+
+func TestFanFracRange(t *testing.T) {
+	if FanFrac(0) != 0.3 {
+		t.Errorf("idle fan frac = %v, want 0.3", FanFrac(0))
+	}
+	if FanFrac(1) != 1.0 {
+		t.Errorf("full fan frac = %v, want 1.0", FanFrac(1))
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"math"
+	"time"
+)
+
+// LoadPattern is a deterministic diurnal load generator in [0,1]. The same
+// pattern evaluated at the same time always returns the same value, which is
+// what makes week-over-week template prediction work (Fig. 14).
+type LoadPattern struct {
+	Base       float64 // floor load
+	DiurnalAmp float64 // day/night swing
+	PhaseHours float64 // shift of the daily peak
+	WeekendDip float64 // multiplicative dip applied on days 6 and 7
+	NoiseAmp   float64 // high-frequency jitter amplitude
+	Seed       uint64
+}
+
+// At evaluates the pattern at time t, clamped to [0, 1].
+func (p LoadPattern) At(t time.Duration) float64 {
+	hours := t.Hours()
+	// Peak mid-afternoon by default; PhaseHours shifts per customer.
+	daily := math.Sin(2 * math.Pi * (hours - 9 - p.PhaseHours) / 24)
+	v := p.Base + p.DiurnalAmp*(0.5+0.5*daily)
+	day := int(hours/24) % 7
+	if day >= 5 {
+		v *= 1 - p.WeekendDip
+	}
+	// Deterministic jitter: hash the 10-minute bucket index and
+	// interpolate between consecutive buckets for continuity.
+	if p.NoiseAmp > 0 {
+		bucket := uint64(t / (10 * time.Minute))
+		frac := float64(t%(10*time.Minute)) / float64(10*time.Minute)
+		n0 := hashUnit(p.Seed, bucket)
+		n1 := hashUnit(p.Seed, bucket+1)
+		v += p.NoiseAmp * ((n0*(1-frac) + n1*frac) - 0.5) * 2
+	}
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// hashUnit maps (seed, x) to a uniform value in [0,1) via splitmix64.
+func hashUnit(seed, x uint64) float64 {
+	z := seed + x*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/llm"
+)
+
+// WriteVMsCSV serializes a workload's VM arrival trace in a stable CSV
+// layout, so generated traces can be archived and replayed byte-identically
+// (the role the paper's production traces play).
+//
+// Columns: id,kind,customer,endpoint,arrival_ns,lifetime_ns,base,amp,phase,
+// weekend_dip,noise,seed.
+func WriteVMsCSV(w io.Writer, vms []VMSpec) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "kind", "customer", "endpoint", "arrival_ns", "lifetime_ns",
+		"base", "amp", "phase", "weekend_dip", "noise", "seed"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for _, vm := range vms {
+		rec := []string{
+			strconv.Itoa(vm.ID),
+			strconv.Itoa(int(vm.Kind)),
+			strconv.Itoa(vm.Customer),
+			strconv.Itoa(vm.Endpoint),
+			strconv.FormatInt(int64(vm.Arrival), 10),
+			strconv.FormatInt(int64(vm.Lifetime), 10),
+			strconv.FormatFloat(vm.Load.Base, 'g', -1, 64),
+			strconv.FormatFloat(vm.Load.DiurnalAmp, 'g', -1, 64),
+			strconv.FormatFloat(vm.Load.PhaseHours, 'g', -1, 64),
+			strconv.FormatFloat(vm.Load.WeekendDip, 'g', -1, 64),
+			strconv.FormatFloat(vm.Load.NoiseAmp, 'g', -1, 64),
+			strconv.FormatUint(vm.Load.Seed, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing VM %d: %w", vm.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadVMsCSV parses a trace written by WriteVMsCSV.
+func ReadVMsCSV(r io.Reader) ([]VMSpec, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	const wantCols = 12
+	if len(records[0]) != wantCols {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(records[0]), wantCols)
+	}
+	out := make([]VMSpec, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		parse := func(idx int) (float64, error) { return strconv.ParseFloat(rec[idx], 64) }
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d id: %w", i+1, err)
+		}
+		kind, err := strconv.Atoi(rec[1])
+		if err != nil || (kind != int(IaaS) && kind != int(SaaS)) {
+			return nil, fmt.Errorf("trace: row %d has invalid kind %q", i+1, rec[1])
+		}
+		customer, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d customer: %w", i+1, err)
+		}
+		endpoint, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d endpoint: %w", i+1, err)
+		}
+		arrival, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d arrival: %w", i+1, err)
+		}
+		lifetime, err := strconv.ParseInt(rec[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d lifetime: %w", i+1, err)
+		}
+		var fields [5]float64
+		for k := 0; k < 5; k++ {
+			fields[k], err = parse(6 + k)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d load field %d: %w", i+1, k, err)
+			}
+		}
+		seed, err := strconv.ParseUint(rec[11], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d seed: %w", i+1, err)
+		}
+		out = append(out, VMSpec{
+			ID:       id,
+			Kind:     VMKind(kind),
+			Customer: customer,
+			Endpoint: endpoint,
+			Arrival:  time.Duration(arrival),
+			Lifetime: time.Duration(lifetime),
+			Load: LoadPattern{
+				Base: fields[0], DiurnalAmp: fields[1], PhaseHours: fields[2],
+				WeekendDip: fields[3], NoiseAmp: fields[4], Seed: seed,
+			},
+		})
+	}
+	return out, nil
+}
+
+// WriteRequestsCSV serializes a request stream (id,customer,prompt,output,
+// arrival_s) for replay in fine-grained experiments.
+func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "customer", "prompt", "output", "arrival_ns"}); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		rec := []string{
+			strconv.FormatInt(r.ID, 10),
+			strconv.Itoa(r.Customer),
+			strconv.Itoa(r.PromptTokens),
+			strconv.Itoa(r.OutputTokens),
+			strconv.FormatInt(int64(r.Arrival), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRequestsCSV parses a stream written by WriteRequestsCSV.
+func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading requests CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty requests CSV")
+	}
+	out := make([]llm.Request, 0, len(records)-1)
+	for i, rec := range records[1:] {
+		if len(rec) != 5 {
+			return nil, fmt.Errorf("trace: request row %d has %d columns, want 5", i+1, len(rec))
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: request row %d id: %w", i+1, err)
+		}
+		customer, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: request row %d customer: %w", i+1, err)
+		}
+		prompt, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: request row %d prompt: %w", i+1, err)
+		}
+		output, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: request row %d output: %w", i+1, err)
+		}
+		arrival, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: request row %d arrival: %w", i+1, err)
+		}
+		out = append(out, llm.Request{
+			ID: id, Customer: customer, PromptTokens: prompt, OutputTokens: output,
+			Arrival: time.Duration(arrival),
+		})
+	}
+	return out, nil
+}

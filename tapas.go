@@ -1,0 +1,132 @@
+// Package tapas is the public API of the TAPAS reproduction: a thermal- and
+// power-aware scheduling framework for LLM inference clusters, after
+// "TAPAS: Thermal- and Power-Aware Scheduling for LLM Inference in Cloud
+// Platforms" (ASPLOS 2025).
+//
+// The package wraps the internal substrates (datacenter layout and thermal/
+// power physics, LLM serving models, trace generation, and the discrete-time
+// simulator) behind a small surface:
+//
+//	sc := tapas.RealClusterScenario()
+//	base, _ := tapas.Run(sc, tapas.NewBaseline())
+//	full, _ := tapas.Run(sc, tapas.NewTAPAS())
+//	fmt.Printf("peak power −%.0f%%\n", (1-full.PeakPower()/base.PeakPower())*100)
+//
+// Every experiment from the paper's evaluation is runnable through
+// Experiments / RunExperiment (also exposed by cmd/tapas-bench).
+package tapas
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/core"
+	"github.com/tapas-sim/tapas/internal/experiments"
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/sim"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// Core simulation types, re-exported from the simulation engine.
+type (
+	// Scenario fully describes one simulation run: layout, workload,
+	// duration, oversubscription and failure schedule.
+	Scenario = sim.Scenario
+	// Result carries the metrics of a completed run.
+	Result = sim.Result
+	// Policy is the scheduling interface (placement, routing,
+	// configuration, capping) implemented by TAPAS and the baselines.
+	Policy = sim.Policy
+	// FailureEvent schedules a cooling or power emergency.
+	FailureEvent = sim.FailureEvent
+	// FailureKind distinguishes cooling from power failures.
+	FailureKind = sim.FailureKind
+	// LayoutConfig parameterizes datacenter generation.
+	LayoutConfig = layout.Config
+	// WorkloadConfig parameterizes trace generation.
+	WorkloadConfig = trace.WorkloadConfig
+	// Region is a deployment climate preset.
+	Region = trace.Region
+)
+
+// Failure kinds (§5.4): a cooling failure limits aisle airflow to 90% of
+// provisioned; a power failure limits row power to 75%.
+const (
+	CoolingFailure = sim.CoolingFailure
+	PowerFailure   = sim.PowerFailure
+)
+
+// Climate presets for the outside-temperature generator.
+var (
+	RegionHot       = trace.RegionHot
+	RegionTemperate = trace.RegionTemperate
+	RegionCool      = trace.RegionCool
+)
+
+// NewTAPAS returns the full TAPAS policy: thermal/power-aware placement,
+// request routing, and instance configuration (§4).
+func NewTAPAS() Policy { return core.NewFull() }
+
+// NewBaseline returns the thermal- and power-oblivious baseline (§5.1):
+// packing placement, least-queue routing, no reconfiguration, uniform caps.
+func NewBaseline() Policy { return core.NewBaseline() }
+
+// NewVariant returns an ablation variant with the selected TAPAS levers
+// (Fig. 20); all false degenerates to the Baseline, all true is TAPAS.
+func NewVariant(place, route, config bool) Policy {
+	return core.New(core.Options{Place: place, Route: route, Config: config})
+}
+
+// Run executes a scenario under a policy.
+func Run(sc Scenario, pol Policy) (*Result, error) { return sim.Run(sc, pol) }
+
+// LargeScenario returns the paper's large-scale setup: ~1000 A100 servers,
+// 50/50 IaaS/SaaS, one week at one-minute ticks.
+func LargeScenario() Scenario { return sim.DefaultScenario() }
+
+// RealClusterScenario returns the paper's real-cluster setup: 80 servers in
+// two rows for one hour at the diurnal peak.
+func RealClusterScenario() Scenario { return sim.SmallScenario() }
+
+// QuickScenario returns a fast small scenario for demos and smoke tests.
+func QuickScenario() Scenario {
+	sc := sim.SmallScenario()
+	sc.Duration = 20 * time.Minute
+	sc.Workload.Duration = sc.Duration
+	return sc
+}
+
+// ExperimentIDs lists every reproducible table/figure in paper order.
+func ExperimentIDs() []string {
+	out := make([]string, len(experiments.All))
+	for i, s := range experiments.All {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// ExperimentTitle returns the human-readable title of an experiment.
+func ExperimentTitle(id string) (string, bool) {
+	s, ok := experiments.Lookup(id)
+	return s.Title, ok
+}
+
+// RunExperiment regenerates one of the paper's tables/figures and writes the
+// report to w. scale 1.0 is paper scale; smaller values shrink cluster size
+// and duration proportionally (0.12 is used by the benchmarks).
+func RunExperiment(id string, scale float64, seed uint64, w io.Writer) error {
+	spec, ok := experiments.Lookup(id)
+	if !ok {
+		return fmt.Errorf("tapas: unknown experiment %q (known: %v)", id, ExperimentIDs())
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	rep, err := spec.Run(experiments.Params{Scale: scale, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("tapas: experiment %s: %w", id, err)
+	}
+	_, err = rep.WriteTo(w)
+	return err
+}

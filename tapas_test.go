@@ -1,0 +1,78 @@
+package tapas_test
+
+import (
+	"strings"
+	"testing"
+
+	tapas "github.com/tapas-sim/tapas"
+)
+
+func TestQuickScenarioEndToEnd(t *testing.T) {
+	sc := tapas.QuickScenario()
+	base, err := tapas.Run(sc, tapas.NewBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tapas.Run(sc, tapas.NewTAPAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.PeakPower() >= base.PeakPower() {
+		t.Errorf("TAPAS peak %.0f should beat baseline %.0f", full.PeakPower(), base.PeakPower())
+	}
+}
+
+func TestNewVariantNames(t *testing.T) {
+	if tapas.NewVariant(true, true, true).Name() != "TAPAS" {
+		t.Error("all levers must be named TAPAS")
+	}
+	if tapas.NewVariant(false, false, false).Name() != "Baseline" {
+		t.Error("no levers must be named Baseline")
+	}
+	if tapas.NewVariant(true, false, true).Name() != "Place+Config" {
+		t.Error("partial variant name wrong")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := tapas.ExperimentIDs()
+	if len(ids) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(ids))
+	}
+	title, ok := tapas.ExperimentTitle("fig21")
+	if !ok || title == "" {
+		t.Error("fig21 must have a title")
+	}
+	if _, ok := tapas.ExperimentTitle("bogus"); ok {
+		t.Error("bogus experiment must not resolve")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	var sb strings.Builder
+	if err := tapas.RunExperiment("bogus", 1, 1, &sb); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestRunExperimentTable1(t *testing.T) {
+	var sb strings.Builder
+	if err := tapas.RunExperiment("table1", 0.1, 42, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Frequency") {
+		t.Errorf("table1 output missing rows:\n%s", sb.String())
+	}
+}
+
+func TestFailureScenario(t *testing.T) {
+	sc := tapas.QuickScenario()
+	sc.Failures = []tapas.FailureEvent{{Kind: tapas.PowerFailure, At: 0, Duration: sc.Duration}}
+	res, err := tapas.Run(sc, tapas.NewTAPAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks == 0 {
+		t.Fatal("no ticks simulated")
+	}
+}
