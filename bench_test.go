@@ -7,6 +7,7 @@ package tapas_test
 import (
 	"io"
 	"math/rand/v2"
+	"strconv"
 	"testing"
 	"time"
 
@@ -82,6 +83,7 @@ func BenchmarkTAPASPlacement(b *testing.B) {
 	if err := pol.Init(st); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vm := st.VMs[i%len(st.VMs)]
@@ -108,6 +110,7 @@ func BenchmarkTAPASRouting(b *testing.B) {
 	}
 	st.Tick = time.Minute
 	ep := st.Work.Endpoints[0]
+	b.ReportAllocs() // steady-state routing must stay at 0 allocs/op
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pol.Route(st, ep, 1e6, 2.5e5)
@@ -118,6 +121,7 @@ func BenchmarkInstanceStep(b *testing.B) {
 	spec := layout.Spec(layout.A100)
 	w := llm.DefaultWorkload()
 	in := llm.NewInstance(spec, llm.DefaultConfig(), w, llm.ComputeSLOs(spec, llm.DefaultConfig(), w))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in.EnqueueBulk(1024, 256)
@@ -131,6 +135,7 @@ func BenchmarkEngineTick(b *testing.B) {
 	ticks := b.N
 	sc.Duration = time.Duration(ticks) * time.Minute
 	sc.Workload.Duration = sc.Duration
+	b.ReportAllocs() // per-tick steady state is allocation-free (setup amortizes)
 	b.ResetTimer()
 	if _, err := sim.Run(sc, core.NewFull()); err != nil {
 		b.Fatal(err)
@@ -247,14 +252,7 @@ func BenchmarkAblationTemplatePercentile(b *testing.B) {
 					under++
 				}
 			}
-			b.ReportMetric(float64(under)/float64(len(errs))*100, "P"+itoa(int(pct))+"-under%")
+			b.ReportMetric(float64(under)/float64(len(errs))*100, "P"+strconv.Itoa(int(pct))+"-under%")
 		}
 	}
-}
-
-func itoa(v int) string {
-	if v == 50 {
-		return "50"
-	}
-	return "99"
 }

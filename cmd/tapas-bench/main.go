@@ -5,12 +5,17 @@
 //	tapas-bench -list
 //	tapas-bench -run fig19            # one experiment at paper scale
 //	tapas-bench -run all -scale 0.25  # everything, quarter scale
+//	tapas-bench -run all -parallel 4  # bound the worker pool
+//
+// Reports go to stdout; timing goes to stderr, so stdout is byte-identical
+// for any -parallel value (including the sequential -parallel=1).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	tapas "github.com/tapas-sim/tapas"
@@ -18,10 +23,11 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment ID to run, or 'all'")
-		scale = flag.Float64("scale", 1.0, "cluster/duration scale (1.0 = paper scale)")
-		seed  = flag.Uint64("seed", 42, "deterministic seed")
-		list  = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment ID to run, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "cluster/duration scale (1.0 = paper scale)")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent runs (1 = sequential)")
+		list     = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -32,7 +38,7 @@ func main() {
 			fmt.Printf("  %-8s %s\n", id, title)
 		}
 		if *run == "" {
-			fmt.Println("\nrun with: tapas-bench -run <id>|all [-scale 0.25]")
+			fmt.Println("\nrun with: tapas-bench -run <id>|all [-scale 0.25] [-parallel N]")
 		}
 		return
 	}
@@ -41,12 +47,12 @@ func main() {
 	if *run == "all" {
 		ids = tapas.ExperimentIDs()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		if err := tapas.RunExperiment(id, *scale, *seed, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "tapas-bench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("# %s completed in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	params := tapas.ExperimentParams{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	start := time.Now()
+	if err := tapas.RunExperiments(ids, params, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tapas-bench: %v\n", err)
+		os.Exit(1)
 	}
+	fmt.Fprintf(os.Stderr, "# %d experiment(s) completed in %v (parallel=%d)\n",
+		len(ids), time.Since(start).Round(time.Millisecond), *parallel)
 }

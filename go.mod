@@ -1,0 +1,3 @@
+module github.com/tapas-sim/tapas
+
+go 1.22

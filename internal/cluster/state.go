@@ -14,6 +14,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/power"
+	"github.com/tapas-sim/tapas/internal/ring"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
 
@@ -27,6 +28,9 @@ type VM struct {
 // HistoryRes is the sensor aggregation interval (the paper's 10-minute
 // reporting granularity).
 const HistoryRes = 10 * time.Minute
+
+// HistoryMaxSamples bounds the rolling histories to four weeks at HistoryRes.
+const HistoryMaxSamples = 4 * 7 * 24 * 6
 
 // State is the live cluster.
 type State struct {
@@ -62,9 +66,10 @@ type State struct {
 	// cooling emergency).
 	AirflowLimitFrac float64
 
-	// Rolling history at HistoryRes for templates and placement prediction.
-	RowPowerHist    [][]float64
-	ServerInletHist [][]float64
+	// Rolling history at HistoryRes for templates and placement prediction,
+	// bounded to HistoryMaxSamples without per-append copying.
+	RowPowerHist    []*ring.Ring
+	ServerInletHist []*ring.Ring
 	// CustomerPeakLoad tracks the observed peak GPU load fraction per IaaS
 	// customer; EndpointPeakPerVM tracks peak per-VM token demand per
 	// endpoint. Placement uses these as the "same user / same endpoint"
@@ -73,6 +78,15 @@ type State struct {
 	EndpointPeakPerVM map[int]float64
 
 	histAccum time.Duration
+
+	// Incremental indexes maintained by Place/Remove so the per-tick
+	// queries below are lookups rather than full-VM scans.
+	epInstances [][]*VM // endpoint → placed serving VMs, ascending VM ID
+	rowIaaS     []int   // row → placed IaaS VM count
+	rowSaaS     []int   // row → placed SaaS VM count
+	freeCount   int
+	freeIDs     []int // cached ascending free-server IDs; valid when !freeDirty
+	freeDirty   bool
 }
 
 // NewState initializes cluster state for a datacenter and workload.
@@ -101,10 +115,15 @@ func NewState(dc *layout.Datacenter, w *trace.Workload) *State {
 		AisleRecircC:     make([]float64, len(dc.Aisles)),
 		AirflowLimitFrac: 1,
 
-		RowPowerHist:      make([][]float64, len(dc.Rows)),
-		ServerInletHist:   make([][]float64, n),
+		RowPowerHist:      make([]*ring.Ring, len(dc.Rows)),
+		ServerInletHist:   make([]*ring.Ring, n),
 		CustomerPeakLoad:  make(map[int]float64),
 		EndpointPeakPerVM: make(map[int]float64),
+
+		rowIaaS:   make([]int, len(dc.Rows)),
+		rowSaaS:   make([]int, len(dc.Rows)),
+		freeCount: n,
+		freeDirty: true,
 	}
 	for i := range st.ServerVM {
 		st.ServerVM[i] = -1
@@ -112,11 +131,18 @@ func NewState(dc *layout.Datacenter, w *trace.Workload) *State {
 		st.GPUPowerFrac[i] = make([]float64, spec.GPUsPerServer)
 		st.GPUTempC[i] = make([]float64, spec.GPUsPerServer)
 	}
+	for r := range st.RowPowerHist {
+		st.RowPowerHist[r] = ring.New(HistoryMaxSamples)
+	}
+	for s := range st.ServerInletHist {
+		st.ServerInletHist[s] = ring.New(HistoryMaxSamples)
+	}
 	if w != nil {
 		st.VMs = make([]*VM, len(w.VMs))
 		for i := range w.VMs {
 			st.VMs[i] = &VM{Spec: w.VMs[i], Server: -1}
 		}
+		st.epInstances = make([][]*VM, len(w.Endpoints))
 	}
 	return st
 }
@@ -139,9 +165,16 @@ func (st *State) Place(vmID, serverID int) error {
 	}
 	vm.Server = serverID
 	st.ServerVM[serverID] = vmID
+	st.freeCount--
+	st.freeDirty = true
+	row := st.DC.Servers[serverID].Row
 	if vm.Spec.Kind == trace.SaaS {
+		st.rowSaaS[row]++
 		ep := st.Work.Endpoints[vm.Spec.Endpoint]
 		vm.Instance = llm.NewInstance(st.Spec, llm.DefaultConfig(), ep.Work, st.SLOs)
+		st.indexEndpointVM(vm)
+	} else {
+		st.rowIaaS[row]++
 	}
 	return nil
 }
@@ -150,49 +183,83 @@ func (st *State) Place(vmID, serverID int) error {
 func (st *State) Remove(vmID int) {
 	vm := st.VMs[vmID]
 	if vm.Server >= 0 {
+		row := st.DC.Servers[vm.Server].Row
+		if vm.Spec.Kind == trace.SaaS {
+			st.rowSaaS[row]--
+			st.unindexEndpointVM(vm)
+		} else {
+			st.rowIaaS[row]--
+		}
 		st.ServerVM[vm.Server] = -1
 		st.ServerFreqCap[vm.Server] = 1
+		st.freeCount++
+		st.freeDirty = true
 		vm.Server = -1
 	}
 	vm.Instance = nil
 }
 
-// FreeServers returns the IDs of unoccupied servers.
-func (st *State) FreeServers() []int {
-	var out []int
-	for id, vm := range st.ServerVM {
-		if vm == -1 {
-			out = append(out, id)
+// indexEndpointVM inserts a freshly placed SaaS VM into its endpoint's
+// instance list, keeping ascending-VM-ID order so consumers iterate in the
+// same order the previous full scan produced.
+func (st *State) indexEndpointVM(vm *VM) {
+	insts := st.epInstances[vm.Spec.Endpoint]
+	pos := len(insts)
+	for pos > 0 && insts[pos-1].Spec.ID > vm.Spec.ID {
+		pos--
+	}
+	insts = append(insts, nil)
+	copy(insts[pos+1:], insts[pos:])
+	insts[pos] = vm
+	st.epInstances[vm.Spec.Endpoint] = insts
+}
+
+func (st *State) unindexEndpointVM(vm *VM) {
+	insts := st.epInstances[vm.Spec.Endpoint]
+	for i, v := range insts {
+		if v == vm {
+			copy(insts[i:], insts[i+1:])
+			st.epInstances[vm.Spec.Endpoint] = insts[:len(insts)-1]
+			return
 		}
 	}
-	return out
 }
+
+// FreeServers returns the IDs of unoccupied servers in ascending order. The
+// returned slice is owned by the State and valid until the next Place or
+// Remove; callers must not mutate or retain it.
+func (st *State) FreeServers() []int {
+	if st.freeDirty {
+		if cap(st.freeIDs) < st.freeCount {
+			st.freeIDs = make([]int, 0, len(st.ServerVM))
+		}
+		st.freeIDs = st.freeIDs[:0]
+		for id, vm := range st.ServerVM {
+			if vm == -1 {
+				st.freeIDs = append(st.freeIDs, id)
+			}
+		}
+		st.freeDirty = false
+	}
+	return st.freeIDs
+}
+
+// NumFree returns the number of unoccupied servers.
+func (st *State) NumFree() int { return st.freeCount }
 
 // RowMix counts placed IaaS and SaaS VMs in a row.
 func (st *State) RowMix(row int) (iaas, saas int) {
-	for _, srv := range st.DC.Rows[row].Servers {
-		vmID := st.ServerVM[srv.ID]
-		if vmID == -1 {
-			continue
-		}
-		if st.VMs[vmID].Spec.Kind == trace.IaaS {
-			iaas++
-		} else {
-			saas++
-		}
-	}
-	return iaas, saas
+	return st.rowIaaS[row], st.rowSaaS[row]
 }
 
-// EndpointInstances returns the placed, serving VMs of an endpoint.
+// EndpointInstances returns the placed, serving VMs of an endpoint in
+// ascending VM-ID order. The returned slice is owned by the State and valid
+// until the next Place or Remove; callers must not mutate or retain it.
 func (st *State) EndpointInstances(endpoint int) []*VM {
-	var out []*VM
-	for _, vm := range st.VMs {
-		if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == endpoint && vm.Server >= 0 && vm.Instance != nil {
-			out = append(out, vm)
-		}
+	if endpoint < 0 || endpoint >= len(st.epInstances) {
+		return nil
 	}
-	return out
+	return st.epInstances[endpoint]
 }
 
 // AisleLimitCFM returns the effective provisioned airflow of an aisle under
@@ -209,22 +276,12 @@ func (st *State) RecordHistory(dt time.Duration) {
 		return
 	}
 	st.histAccum = 0
-	const maxLen = 4 * 7 * 24 * 6 // four weeks at 10-minute resolution
 	for r := range st.RowPowerHist {
-		st.RowPowerHist[r] = appendBounded(st.RowPowerHist[r], st.RowPowerW[r], maxLen)
+		st.RowPowerHist[r].Push(st.RowPowerW[r])
 	}
 	for s := range st.ServerInletHist {
-		st.ServerInletHist[s] = appendBounded(st.ServerInletHist[s], st.ServerInletC[s], maxLen)
+		st.ServerInletHist[s].Push(st.ServerInletC[s])
 	}
-}
-
-func appendBounded(xs []float64, v float64, maxLen int) []float64 {
-	xs = append(xs, v)
-	if len(xs) > maxLen {
-		copy(xs, xs[len(xs)-maxLen:])
-		xs = xs[:maxLen]
-	}
-	return xs
 }
 
 // ObserveCustomerLoad updates the per-customer peak IaaS load estimate.

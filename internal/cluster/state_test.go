@@ -138,8 +138,12 @@ func TestRecordHistoryDownsamples(t *testing.T) {
 		st.RecordHistory(tick)
 	}
 	// 25 minutes at 10-minute resolution ⇒ 2 samples.
-	if len(st.RowPowerHist[0]) != 2 {
-		t.Errorf("history samples = %d, want 2", len(st.RowPowerHist[0]))
+	if st.RowPowerHist[0].Len() != 2 {
+		t.Errorf("history samples = %d, want 2", st.RowPowerHist[0].Len())
+	}
+	// The newest recorded sample is the row power at the last flush.
+	if last, ok := st.RowPowerHist[0].Last(); !ok || last != 19 {
+		t.Errorf("last history sample = %v,%v, want 19,true", last, ok)
 	}
 }
 
@@ -148,8 +152,104 @@ func TestHistoryBounded(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		st.RecordHistory(HistoryRes)
 	}
-	if n := len(st.RowPowerHist[0]); n > 4*7*24*6 {
+	if n := st.RowPowerHist[0].Len(); n > HistoryMaxSamples {
 		t.Errorf("history grew to %d, want bounded", n)
+	}
+}
+
+// TestIndexesTrackPlaceRemove verifies the incremental endpoint and
+// free-server indexes stay consistent with a full scan through churn.
+func TestIndexesTrackPlaceRemove(t *testing.T) {
+	st := newTestState(t)
+	var placed []int
+	srv := 0
+	for i, vm := range st.VMs {
+		if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == 0 && len(placed) < 6 {
+			if err := st.Place(i, srv); err != nil {
+				t.Fatal(err)
+			}
+			placed = append(placed, i)
+			srv++
+		}
+	}
+	check := func() {
+		t.Helper()
+		var want []*VM
+		for _, vm := range st.VMs {
+			if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == 0 && vm.Server >= 0 && vm.Instance != nil {
+				want = append(want, vm)
+			}
+		}
+		got := st.EndpointInstances(0)
+		if len(got) != len(want) {
+			t.Fatalf("index has %d instances, scan finds %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("index order diverges from scan at %d", i)
+			}
+		}
+		free := st.FreeServers()
+		if len(free) != st.NumFree() {
+			t.Fatalf("free list len %d != NumFree %d", len(free), st.NumFree())
+		}
+		n := 0
+		for id, vm := range st.ServerVM {
+			if vm == -1 {
+				if free[n] != id {
+					t.Fatalf("free list out of order at %d", n)
+				}
+				n++
+			}
+		}
+	}
+	check()
+	// Remove from the middle, then re-place on a different server
+	// (migration-shaped churn).
+	mid := placed[len(placed)/2]
+	st.Remove(mid)
+	check()
+	if err := st.Place(mid, len(st.ServerVM)-1); err != nil {
+		t.Fatal(err)
+	}
+	check()
+	for _, id := range placed {
+		st.Remove(id)
+	}
+	check()
+	if st.NumFree() != len(st.ServerVM) {
+		t.Errorf("NumFree = %d after removing all, want %d", st.NumFree(), len(st.ServerVM))
+	}
+}
+
+// TestEndpointInstancesAllocFree locks in the O(1) zero-allocation lookup
+// the routing hot loop depends on.
+func TestEndpointInstancesAllocFree(t *testing.T) {
+	st := newTestState(t)
+	count := 0
+	for i, vm := range st.VMs {
+		if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == 0 && count < 5 {
+			if err := st.Place(i, count); err != nil {
+				t.Fatal(err)
+			}
+			count++
+		}
+	}
+	var got []*VM
+	allocs := testing.AllocsPerRun(200, func() {
+		got = st.EndpointInstances(0)
+	})
+	if allocs != 0 {
+		t.Errorf("EndpointInstances allocates %.1f times per call, want 0", allocs)
+	}
+	if len(got) != count {
+		t.Errorf("lookup returned %d instances, want %d", len(got), count)
+	}
+	// Steady-state FreeServers (no churn between calls) is also alloc-free.
+	st.FreeServers()
+	allocs = testing.AllocsPerRun(200, func() { st.FreeServers() })
+	if allocs != 0 {
+		t.Errorf("FreeServers allocates %.1f times per call steady-state, want 0", allocs)
 	}
 }
 

@@ -11,6 +11,19 @@ import (
 // servers, SaaS → warm servers), and an IaaS/SaaS balance preference.
 type allocator struct {
 	prof *Profiles
+
+	// Per-placement scratch, reused across calls: placements recur every
+	// tick while arrivals are pending, so the validator's per-row/per-aisle
+	// projections and the candidate list must not allocate steadily.
+	rowPeakW     []float64
+	aislePeakCFM []float64
+	cands        []placeCandidate
+}
+
+type placeCandidate struct {
+	server   int
+	predTemp float64
+	row      int
 }
 
 // tempMargin keeps predicted GPU temperature this far below the throttle
@@ -27,8 +40,17 @@ func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 	// Validator: predicted peak power per row / airflow per aisle with the
 	// candidate VM added. With under a week of history the paper assumes
 	// peak-load conditions, which is what EstimateVMPeakLoad degrades to.
-	rowPeakW := make([]float64, len(st.DC.Rows))
-	aislePeakCFM := make([]float64, len(st.DC.Aisles))
+	if a.rowPeakW == nil {
+		a.rowPeakW = make([]float64, len(st.DC.Rows))
+		a.aislePeakCFM = make([]float64, len(st.DC.Aisles))
+	}
+	rowPeakW, aislePeakCFM := a.rowPeakW, a.aislePeakCFM
+	for i := range rowPeakW {
+		rowPeakW[i] = 0
+	}
+	for i := range aislePeakCFM {
+		aislePeakCFM[i] = 0
+	}
 	for _, srv := range st.DC.Servers {
 		load := 0.0
 		if vmID := st.ServerVM[srv.ID]; vmID != -1 {
@@ -44,16 +66,8 @@ func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 	if refOutside < 30 {
 		refOutside = 30
 	}
-	type candidate struct {
-		server   int
-		predTemp float64
-		row      int
-	}
-	var cands []candidate
-	for id, occupant := range st.ServerVM {
-		if occupant != -1 {
-			continue
-		}
+	cands := a.cands[:0]
+	for _, id := range st.FreeServers() {
 		srv := st.DC.Servers[id]
 		if rowPeakW[srv.Row]-idleW+newPeakW > st.DC.Rows[srv.Row].ProvPowerW {
 			continue
@@ -68,8 +82,9 @@ func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 				temp = t
 			}
 		}
-		cands = append(cands, candidate{server: id, predTemp: temp, row: srv.Row})
+		cands = append(cands, placeCandidate{server: id, predTemp: temp, row: srv.Row})
 	}
+	a.cands = cands // keep the grown buffer for the next placement
 	if len(cands) == 0 {
 		return 0, false
 	}

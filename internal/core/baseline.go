@@ -12,7 +12,13 @@ import (
 // packing VM placement (Protean-style), performance-only LLM request
 // routing (least queue), no instance reconfiguration, and uniform frequency
 // capping when limits are exceeded.
-type Baseline struct{}
+type Baseline struct {
+	// Reusable scratch: routing weights and capping ID lists are rebuilt
+	// every tick, so they live on the policy to keep the hot loop
+	// allocation-free.
+	weights []float64
+	ids     []int
+}
 
 // NewBaseline returns the baseline policy.
 func NewBaseline() *Baseline { return &Baseline{} }
@@ -54,9 +60,15 @@ func (*Baseline) Place(st *cluster.State, vm *cluster.VM) (int, bool) {
 // Route distributes demand inversely to queue depth — the state-of-the-art
 // latency-optimizing load balancing the paper compares against, with no
 // awareness of temperature or power.
-func (*Baseline) Route(st *cluster.State, ep trace.EndpointSpec, prompt, output float64) {
+func (b *Baseline) Route(st *cluster.State, ep trace.EndpointSpec, prompt, output float64) {
 	insts := st.EndpointInstances(ep.ID)
-	weights := make([]float64, len(insts))
+	if cap(b.weights) < len(insts) {
+		b.weights = make([]float64, len(insts))
+	}
+	weights := b.weights[:len(insts)]
+	for i := range weights {
+		weights[i] = 0
+	}
 	total := 0.0
 	for i, vm := range insts {
 		if vm.Instance.Reloading() {
@@ -84,26 +96,24 @@ func (*Baseline) Configure(*cluster.State) {}
 // CapRow applies a uniform frequency cap to every server in the row — the
 // homogeneous limit distribution of §2.2 that Table 2 shows costing up to
 // 35% performance.
-func (*Baseline) CapRow(st *cluster.State, row int, drawW, limitW float64) {
-	uniformCap(st, rowServerIDs(st, row), drawW, limitW)
+func (b *Baseline) CapRow(st *cluster.State, row int, drawW, limitW float64) {
+	ids := b.ids[:0]
+	for _, srv := range st.DC.Rows[row].Servers {
+		ids = append(ids, srv.ID)
+	}
+	b.ids = ids
+	uniformCap(st, ids, drawW, limitW)
 }
 
 // CapAisle applies a uniform frequency cap to both rows of the aisle to
 // bring airflow demand back under the AHU supply.
-func (*Baseline) CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM float64) {
-	ids := make([]int, 0, 80)
+func (b *Baseline) CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM float64) {
+	ids := b.ids[:0]
 	for _, srv := range st.DC.Aisles[aisle].Servers() {
 		ids = append(ids, srv.ID)
 	}
+	b.ids = ids
 	uniformCap(st, ids, demandCFM, limitCFM)
-}
-
-func rowServerIDs(st *cluster.State, row int) []int {
-	ids := make([]int, 0, len(st.DC.Rows[row].Servers))
-	for _, srv := range st.DC.Rows[row].Servers {
-		ids = append(ids, srv.ID)
-	}
-	return ids
 }
 
 // uniformCap lowers ServerFreqCap on all ids so the aggregate (power or

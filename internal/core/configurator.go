@@ -21,6 +21,12 @@ type configurator struct {
 	prof        *Profiles
 	lastReload  map[int]time.Duration // VM id → sim time of last reload
 	rowPressure []int                 // consecutive ticks a row sat above target
+
+	// Per-tick scratch, reused across configure calls so the steady-state
+	// control loop does not allocate.
+	rowScale   []float64
+	aisleScale []float64
+	aisleFairW []float64
 }
 
 const (
@@ -56,8 +62,11 @@ func (c *configurator) configure(st *cluster.State) {
 	// apply to bring the aggregate back under target.
 	if c.rowPressure == nil {
 		c.rowPressure = make([]int, len(st.DC.Rows))
+		c.rowScale = make([]float64, len(st.DC.Rows))
+		c.aisleScale = make([]float64, len(st.DC.Aisles))
+		c.aisleFairW = make([]float64, len(st.DC.Aisles))
 	}
-	rowScale := make([]float64, len(st.DC.Rows))
+	rowScale := c.rowScale
 	for row := range rowScale {
 		rowScale[row] = 1
 		target := st.Budget.RowLimitW(row) * budgetTarget
@@ -68,8 +77,8 @@ func (c *configurator) configure(st *cluster.State) {
 			c.rowPressure[row] = 0
 		}
 	}
-	aisleScale := make([]float64, len(st.DC.Aisles))
-	aisleFairW := make([]float64, len(st.DC.Aisles))
+	aisleScale := c.aisleScale
+	aisleFairW := c.aisleFairW
 	idleW := c.prof.Power.Predict(0)
 	for a := range aisleScale {
 		aisleScale[a] = 1

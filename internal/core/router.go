@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"github.com/tapas-sim/tapas/internal/cluster"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
@@ -14,8 +12,22 @@ import (
 // headroom-proportional spreading. KV-cache affinity is approximated in the
 // fluid model by the stable consolidation order, which keeps a customer's
 // demand on the same instances across ticks.
+//
+// route runs once per endpoint per tick, so its working sets (scored
+// instances, consolidation order, grants) live on the router struct and are
+// reused across calls: steady-state routing performs no heap allocations.
 type router struct {
 	prof *Profiles
+
+	scored []routeScored
+	order  []int
+	grants []float64
+}
+
+type routeScored struct {
+	vm       *cluster.VM
+	headroom float64 // 0 = at risk
+	capacity float64 // tokens this tick
 }
 
 // riskGate is the utilization of a limit beyond which no further demand is
@@ -36,19 +48,14 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 	if len(insts) == 0 {
 		return
 	}
-	type scored struct {
-		vm       *cluster.VM
-		headroom float64 // 0 = at risk
-		capacity float64 // tokens this tick
-	}
 	throttleC := st.Spec.ThrottleTempC
 	tickSecs := st.Tick.Seconds()
-	scoredInsts := make([]scored, 0, len(insts))
+	scoredInsts := r.scored[:0]
 	totalCap := 0.0
 	for _, vm := range insts {
 		in := vm.Instance
 		if in.Reloading() {
-			scoredInsts = append(scoredInsts, scored{vm: vm})
+			scoredInsts = append(scoredInsts, routeScored{vm: vm})
 			continue
 		}
 		srv := st.DC.Servers[vm.Server]
@@ -61,24 +68,16 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 			}
 		}
 		tempUse := maxTemp / (throttleC - 2)
-		head := 1.0
-		for _, use := range []float64{rowUse, aisleUse, tempUse} {
-			if use >= riskGate {
-				head = 0
-				break
-			}
-			if h := (riskGate - use) / riskGate; h < head {
-				head = h
-			}
-		}
+		head := headroomOf(rowUse, aisleUse, tempUse)
 		entry, ok := st.Profile.Entry(in.Config)
 		capTokens := 0.0
 		if ok {
 			capTokens = entry.Goodput * tickSecs
 		}
-		scoredInsts = append(scoredInsts, scored{vm: vm, headroom: head, capacity: capTokens})
+		scoredInsts = append(scoredInsts, routeScored{vm: vm, headroom: head, capacity: capTokens})
 		totalCap += capTokens * head
 	}
+	r.scored = scoredInsts // keep the grown buffer for the next call
 
 	demand := prompt + output
 	promptShare := prompt / demand
@@ -93,26 +92,14 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 	// (energy saving + KV-cache affinity: the same instances keep serving
 	// the same customers across ticks), letting the rest idle.
 	if demand < 0.5*aggCap {
-		order := make([]int, len(scoredInsts))
+		if cap(r.order) < len(scoredInsts) {
+			r.order = make([]int, 0, cap(scoredInsts))
+		}
+		order := r.order[:len(scoredInsts)]
 		for i := range order {
 			order[i] = i
 		}
-		sort.SliceStable(order, func(a, b int) bool {
-			ia, ib := scoredInsts[order[a]], scoredInsts[order[b]]
-			if (ia.headroom > 0) != (ib.headroom > 0) {
-				return ia.headroom > 0
-			}
-			// Sticky toward instances already serving (KV reuse). Ties
-			// break on a per-endpoint hash of the server, which is stable
-			// across ticks (affinity) but decorrelated across endpoints —
-			// otherwise every endpoint would pile onto the same rows and
-			// oscillate against the shared telemetry.
-			ba, bb := ia.vm.Instance.BusyFrac > 0.15, ib.vm.Instance.BusyFrac > 0.15
-			if ba != bb {
-				return ba
-			}
-			return routeHash(ep.ID, ia.vm.Server) < routeHash(ep.ID, ib.vm.Server)
-		})
+		consolidationSort(order, scoredInsts, ep.ID)
 		remaining := demand
 		for _, idx := range order {
 			if remaining <= 0 {
@@ -139,7 +126,13 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 	// instances on power- or thermally-stressed infrastructure receive
 	// quadratically less demand — but never grant any instance more than it
 	// can serve, redistributing the clamped excess over remaining slack.
-	grants := make([]float64, len(scoredInsts))
+	if cap(r.grants) < len(scoredInsts) {
+		r.grants = make([]float64, 0, cap(scoredInsts))
+	}
+	grants := r.grants[:len(scoredInsts)]
+	for i := range grants {
+		grants[i] = 0
+	}
 	totalW := 0.0
 	for _, s := range scoredInsts {
 		totalW += s.capacity * s.headroom * s.headroom
@@ -198,6 +191,52 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 	for i, s := range scoredInsts {
 		if grants[i] > 0 {
 			s.vm.Instance.EnqueueBulk(grants[i]*promptShare, grants[i]*(1-promptShare))
+		}
+	}
+}
+
+// headroomOf folds the three limit utilizations into one headroom score:
+// 0 when any limit sits beyond the risk gate, otherwise the smallest
+// normalized distance to the gate.
+func headroomOf(rowUse, aisleUse, tempUse float64) float64 {
+	head := 1.0
+	for _, use := range [3]float64{rowUse, aisleUse, tempUse} {
+		if use >= riskGate {
+			return 0
+		}
+		if h := (riskGate - use) / riskGate; h < head {
+			head = h
+		}
+	}
+	return head
+}
+
+// consolidationSort stably orders instance indexes for the low-load regime:
+// serving-capable first, then instances already busy (KV reuse), ties broken
+// by the per-endpoint route hash. It is a hand-rolled insertion sort because
+// sort.SliceStable allocates its closure header on every call and this runs
+// per endpoint per tick; endpoint fleets are tens of instances, where
+// insertion sort is also the faster algorithm.
+func consolidationSort(order []int, scored []routeScored, endpoint int) {
+	less := func(a, b int) bool {
+		ia, ib := scored[a], scored[b]
+		if (ia.headroom > 0) != (ib.headroom > 0) {
+			return ia.headroom > 0
+		}
+		// Sticky toward instances already serving (KV reuse). Ties
+		// break on a per-endpoint hash of the server, which is stable
+		// across ticks (affinity) but decorrelated across endpoints —
+		// otherwise every endpoint would pile onto the same rows and
+		// oscillate against the shared telemetry.
+		ba, bb := ia.vm.Instance.BusyFrac > 0.15, ib.vm.Instance.BusyFrac > 0.15
+		if ba != bb {
+			return ba
+		}
+		return routeHash(endpoint, ia.vm.Server) < routeHash(endpoint, ib.vm.Server)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
 }

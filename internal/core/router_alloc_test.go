@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// routeTestState builds a small cluster with 20 endpoint-0 instances placed,
+// mirroring the routing micro-benchmark.
+func routeTestState(t *testing.T) (*cluster.State, *TAPAS) {
+	t.Helper()
+	dc, err := layout.New(layout.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.Generate(trace.WorkloadConfig{
+		Servers: len(dc.Servers), SaaSFraction: 0.5,
+		Duration: time.Hour, Endpoints: 3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cluster.NewState(dc, w)
+	pol := NewFull()
+	if err := pol.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	for i, vm := range st.VMs {
+		if vm.Spec.Kind == trace.SaaS && vm.Spec.Endpoint == 0 && placed < 20 {
+			if err := st.Place(i, placed); err != nil {
+				t.Fatal(err)
+			}
+			placed++
+		}
+	}
+	st.Tick = time.Minute
+	return st, pol
+}
+
+// TestRouteAllocFree locks in the zero-allocation steady state of the TAPAS
+// routing hot path: after the first call has grown the router's reusable
+// scratch, routing an endpoint's demand must not touch the heap. Both
+// regimes are pinned — low demand exercises consolidation (including its
+// stable sort), high demand the water-filling spread.
+func TestRouteAllocFree(t *testing.T) {
+	st, pol := routeTestState(t)
+	ep := st.Work.Endpoints[0]
+	for _, tc := range []struct {
+		name           string
+		prompt, output float64
+	}{
+		{"consolidation", 1e4, 2.5e3},
+		{"water-filling", 1e6, 2.5e5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pol.Route(st, ep, tc.prompt, tc.output) // grow scratch once
+			allocs := testing.AllocsPerRun(100, func() {
+				pol.Route(st, ep, tc.prompt, tc.output)
+			})
+			if allocs != 0 {
+				t.Errorf("route allocates %.1f times per call steady-state, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestBaselineRouteAllocFree covers the comparison policy's hot path too, so
+// Baseline-vs-TAPAS experiment times measure scheduling, not the allocator.
+func TestBaselineRouteAllocFree(t *testing.T) {
+	st, _ := routeTestState(t)
+	ep := st.Work.Endpoints[0]
+	pol := NewBaseline()
+	pol.Route(st, ep, 1e5, 2.5e4)
+	allocs := testing.AllocsPerRun(100, func() {
+		pol.Route(st, ep, 1e5, 2.5e4)
+	})
+	if allocs != 0 {
+		t.Errorf("baseline route allocates %.1f times per call steady-state, want 0", allocs)
+	}
+}

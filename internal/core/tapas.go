@@ -30,6 +30,12 @@ type TAPAS struct {
 	rowOverRuns   []int // consecutive over-budget ticks per row
 	aisleOverRuns []int
 
+	// Per-tick scratch reused across capping calls (steady-state capping
+	// performs no heap allocations).
+	capIDs  []int
+	capIaaS []int
+	capSaaS []int
+
 	// Migrations counts executed SaaS migrations (§4.1) for introspection.
 	Migrations int
 }
@@ -118,7 +124,7 @@ func (t *TAPAS) Configure(st *cluster.State) {
 	for row, draw := range st.RowPowerW {
 		limit := st.Budget.RowLimitW(row) * proactive
 		if draw > limit {
-			t.selectiveCap(st, rowServerIDs(st, row), draw-limit)
+			t.selectiveCap(st, t.rowIDs(st, row), draw-limit)
 		}
 	}
 	for a, demand := range st.AisleDemandCFM {
@@ -126,14 +132,25 @@ func (t *TAPAS) Configure(st *cluster.State) {
 		if demand <= limit {
 			continue
 		}
-		var ids []int
+		ids := t.capIDs[:0]
 		totalW := 0.0
 		for _, srv := range st.DC.Aisles[a].Servers() {
 			ids = append(ids, srv.ID)
 			totalW += st.ServerPowerW[srv.ID]
 		}
+		t.capIDs = ids
 		t.selectiveCap(st, ids, (demand-limit)/demand*totalW)
 	}
+}
+
+// rowIDs fills the reusable capIDs scratch with the row's server IDs.
+func (t *TAPAS) rowIDs(st *cluster.State, row int) []int {
+	ids := t.capIDs[:0]
+	for _, srv := range st.DC.Rows[row].Servers {
+		ids = append(ids, srv.ID)
+	}
+	t.capIDs = ids
+	return ids
 }
 
 // CapRow implements sim.Policy. With the Config lever active, TAPAS first
@@ -149,8 +166,7 @@ func (t *TAPAS) CapRow(st *cluster.State, row int, drawW, limitW float64) {
 	if t.rowOverRuns[row] < 2 {
 		return // give the configurator one tick to react
 	}
-	ids := rowServerIDs(st, row)
-	t.selectiveCap(st, ids, drawW-limitW)
+	t.selectiveCap(st, t.rowIDs(st, row), drawW-limitW)
 }
 
 // CapAisle implements sim.Policy with the same selective escalation.
@@ -165,12 +181,13 @@ func (t *TAPAS) CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM float
 	}
 	// Airflow tracks dynamic power; convert the CFM overdraw into a power
 	// shed target using the fleet-average W-per-CFM of the aisle.
-	var ids []int
+	ids := t.capIDs[:0]
 	totalW := 0.0
 	for _, srv := range st.DC.Aisles[aisle].Servers() {
 		ids = append(ids, srv.ID)
 		totalW += st.ServerPowerW[srv.ID]
 	}
+	t.capIDs = ids
 	shedW := (demandCFM - limitCFM) / demandCFM * totalW
 	t.selectiveCap(st, ids, shedW)
 }
@@ -183,7 +200,7 @@ func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
 		return
 	}
 	idleW := t.prof.Power.Predict(0)
-	var iaas, saas []int
+	iaas, saas := t.capIaaS[:0], t.capSaaS[:0]
 	iaasDynW := 0.0
 	for _, id := range ids {
 		vmID := st.ServerVM[id]
@@ -199,6 +216,7 @@ func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
 			saas = append(saas, id)
 		}
 	}
+	t.capIaaS, t.capSaaS = iaas, saas
 	headroomLeft := false
 	if iaasDynW > 0 {
 		factor := 1 - shedW/iaasDynW

@@ -368,33 +368,58 @@ func Fig11(p Params) (*Report, error) {
 		trials = 2000
 	}
 	spec := layout.Spec(dc.Config.GPU)
-	rng := rand.New(rand.NewPCG(p.Seed, 11))
-	var peakTemps, peakPowers []float64
-	perm := make([]int, len(dc.Servers))
-	for i := range perm {
-		perm[i] = i
+	// Hoist the trial-invariant physics out of the trial loop: the inlet
+	// depends only on the server, and per-VM GPU power fraction / server
+	// power depend only on the VM's load — only the permutation varies.
+	inletC := make([]float64, len(dc.Servers))
+	for id, srv := range dc.Servers {
+		inletC[id] = thermal.InletTemp(srv, 30, 0.7, 0)
 	}
-	for trial := 0; trial < trials; trial++ {
+	gpuFrac := make([]float64, len(loads))
+	serverW := make([]float64, len(loads))
+	for v, load := range loads {
+		gpuFrac[v] = power.GPUPower(spec, load, 1) / spec.GPUTDPW
+		serverW[v] = power.ServerPowerAtUniformLoad(spec, load)
+	}
+	// Trials are independent: fan them out across the worker pool, one
+	// deterministic PCG stream per trial so the result is byte-identical
+	// for any worker count. Each worker keeps its own permutation scratch.
+	type trialResult struct{ tempC, powerKW float64 }
+	workers := ResolveWorkers(p.Parallel)
+	perms := make([][]int, workers)
+	results, _ := RunParallel(trials, workers, func(worker, trial int) (trialResult, error) {
+		perm := perms[worker]
+		if perm == nil {
+			perm = make([]int, len(dc.Servers))
+			perms[worker] = perm
+		}
+		for i := range perm {
+			perm[i] = i
+		}
+		rng := rand.New(rand.NewPCG(p.Seed, 11+uint64(trial)))
 		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
 		maxTemp := 0.0
-		rowPower := make([]float64, len(dc.Rows))
-		for v, load := range loads {
+		var rowPower [2]float64
+		for v := range loads {
 			srv := dc.Servers[perm[v]]
-			inlet := thermal.InletTemp(srv, 30, 0.7, 0)
-			frac := power.GPUPower(spec, load, 1) / spec.GPUTDPW
 			for g := range srv.GPUTempGainC {
-				if t := thermal.GPUTemp(srv, g, inlet, frac); t > maxTemp {
+				if t := thermal.GPUTemp(srv, g, inletC[srv.ID], gpuFrac[v]); t > maxTemp {
 					maxTemp = t
 				}
 			}
-			rowPower[srv.Row] += power.ServerPowerAtUniformLoad(spec, load)
+			rowPower[srv.Row] += serverW[v]
 		}
 		peak := rowPower[0]
 		if rowPower[1] > peak {
 			peak = rowPower[1]
 		}
-		peakTemps = append(peakTemps, maxTemp)
-		peakPowers = append(peakPowers, peak/1000)
+		return trialResult{tempC: maxTemp, powerKW: peak / 1000}, nil
+	})
+	peakTemps := make([]float64, trials)
+	peakPowers := make([]float64, trials)
+	for i, tr := range results {
+		peakTemps[i] = tr.tempC
+		peakPowers[i] = tr.powerKW
 	}
 	r.addf("%d random placements of %d VMs across 2 rows:", trials, len(loads))
 	r.Lines = append(r.Lines, cdfRow("peak temp °C", peakTemps, regress.Percentile))

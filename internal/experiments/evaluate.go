@@ -132,17 +132,29 @@ func Fig20(p Params) (*Report, error) {
 		header += fmt.Sprintf(" %12s", m.name)
 	}
 	r.Lines = append(r.Lines, "normalized max temperature / normalized peak power", header)
-	for _, opts := range variants {
-		pol := core.New(opts)
-		line := fmt.Sprintf("%-14s", pol.Name())
-		for _, m := range mixes {
-			sc := scaledScenario(p)
-			sc.Workload.SaaSFraction = m.saas
-			res, err := sim.Run(sc, core.New(opts)) // fresh policy per run
-			if err != nil {
-				return nil, err
-			}
-			line += fmt.Sprintf("  %4.2f/%4.2f", res.MaxTemp()/provTemp, res.PeakPower()/provPower)
+	// The 8 variants × 5 mixes grid is 40 independent simulations; fan them
+	// out and reassemble the table in grid order (each run builds a fresh
+	// policy and scenario, so results match the sequential path exactly).
+	type cell struct{ temp, power float64 }
+	cells, err := RunParallel(len(variants)*len(mixes), p.Parallel, func(_, job int) (cell, error) {
+		opts := variants[job/len(mixes)]
+		m := mixes[job%len(mixes)]
+		sc := scaledScenario(p)
+		sc.Workload.SaaSFraction = m.saas
+		res, err := sim.Run(sc, core.New(opts))
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{temp: res.MaxTemp() / provTemp, power: res.PeakPower() / provPower}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, opts := range variants {
+		line := fmt.Sprintf("%-14s", core.New(opts).Name())
+		for mi := range mixes {
+			c := cells[vi*len(mixes)+mi]
+			line += fmt.Sprintf("  %4.2f/%4.2f", c.temp, c.power)
 		}
 		r.Lines = append(r.Lines, line)
 	}
@@ -182,25 +194,29 @@ func Table2(p Params) (*Report, error) {
 		sc.Workload.DemandScale = 1.3
 		sc.Workload.Occupancy = 0.97
 	}
-	run := func(mk func() sim.Policy, kind sim.FailureKind, fail bool) (*sim.Result, error) {
+	// The emergency matrix is 2 emergencies × 2 policies × {normal, failed}
+	// = 8 independent simulations; fan them out and reassemble in order.
+	emergencies := []sim.FailureKind{sim.PowerFailure, sim.CoolingFailure}
+	policies := []func() sim.Policy{baselinePolicy, tapasPolicy}
+	runs, err := RunParallel(len(emergencies)*len(policies)*2, p.Parallel, func(_, job int) (*sim.Result, error) {
+		emergency := emergencies[job/(len(policies)*2)]
+		mk := policies[(job/2)%len(policies)]
+		fail := job%2 == 1
 		sc := smallScenario(p)
 		peakLoad(&sc)
 		if fail {
-			sc.Failures = []sim.FailureEvent{{Kind: kind, At: sc.Duration / 6, Duration: sc.Duration}}
+			sc.Failures = []sim.FailureEvent{{Kind: emergency, At: sc.Duration / 6, Duration: sc.Duration}}
 		}
 		return sim.Run(sc, mk())
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, emergency := range []sim.FailureKind{sim.PowerFailure, sim.CoolingFailure} {
+	for ei, emergency := range emergencies {
 		r.addf("--- %s emergency ---", emergency)
-		for _, mk := range []func() sim.Policy{baselinePolicy, tapasPolicy} {
-			normal, err := run(mk, emergency, false)
-			if err != nil {
-				return nil, err
-			}
-			failed, err := run(mk, emergency, true)
-			if err != nil {
-				return nil, err
-			}
+		for pi := range policies {
+			base := ei*len(policies)*2 + pi*2
+			normal, failed := runs[base], runs[base+1]
 			saasPerf := failed.SaaSServedTokens/normal.SaaSServedTokens - 1
 			quality := failed.AvgQuality()/normal.AvgQuality() - 1
 			r.addf("%-8s IaaS perf %+5.1f%%  SaaS perf %+5.1f%%  IaaS quality +0.0%%  SaaS quality %+5.1f%%",

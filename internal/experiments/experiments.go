@@ -25,6 +25,11 @@ type Params struct {
 	// (1.0 = the paper's setup; benchmarks use ~0.1).
 	Scale float64
 	Seed  uint64
+	// Parallel bounds the worker pool for multi-run experiments (fig11's
+	// random placements, fig20's ablation grid, table2's emergency matrix).
+	// ≤ 0 selects GOMAXPROCS. Reports are byte-identical across worker
+	// counts: every run is seeded per job and collected in job order.
+	Parallel int
 }
 
 // DefaultParams runs at paper scale.

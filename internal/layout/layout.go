@@ -103,13 +103,20 @@ type Aisle struct {
 	ID             int
 	Rows           [2]*Row
 	ProvAirflowCFM float64
+
+	servers []*Server // memoized Servers() result
 }
 
-// Servers returns all servers in both rows of the aisle.
+// Servers returns all servers in both rows of the aisle. The slice is
+// memoized — schedulers call this in per-tick capping loops — so callers
+// must treat it as read-only.
 func (a *Aisle) Servers() []*Server {
-	out := make([]*Server, 0, len(a.Rows[0].Servers)+len(a.Rows[1].Servers))
-	out = append(out, a.Rows[0].Servers...)
-	return append(out, a.Rows[1].Servers...)
+	if a.servers == nil {
+		out := make([]*Server, 0, len(a.Rows[0].Servers)+len(a.Rows[1].Servers))
+		out = append(out, a.Rows[0].Servers...)
+		a.servers = append(out, a.Rows[1].Servers...)
+	}
+	return a.servers
 }
 
 // UPS is one uninterruptible power supply in the 4N/3 redundancy group.
@@ -267,6 +274,7 @@ func (dc *Datacenter) AddRacks(ratio float64) {
 		}
 		// Note: row.ProvPowerW and aisle ProvAirflowCFM intentionally stay
 		// fixed — that is what oversubscription means.
+		dc.Aisles[row.Aisle].servers = nil // invalidate the memoized roster
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tapas-sim/tapas/internal/regress"
+	"github.com/tapas-sim/tapas/internal/ring"
 )
 
 // HoursPerWeek is the length of an hour-of-week template.
@@ -22,12 +23,35 @@ type Template struct {
 // uniformly. samplesPerHour tells how many consecutive samples form one
 // hour; history longer than a week folds onto the hour-of-week axis.
 func BuildTemplate(history []float64, samplesPerHour int, percentile float64) (Template, error) {
+	return buildTemplate(sliceHistory(history), samplesPerHour, percentile)
+}
+
+// BuildTemplateRing constructs a template directly from a rolling telemetry
+// ring (e.g. cluster.State's RowPowerHist), reading samples oldest-to-newest
+// in place — no snapshot copy of the four-week window is made.
+func BuildTemplateRing(h *ring.Ring, samplesPerHour int, percentile float64) (Template, error) {
+	return buildTemplate(h, samplesPerHour, percentile)
+}
+
+// history is the minimal ordered view buildTemplate consumes; both plain
+// slices and ring buffers satisfy it.
+type history interface {
+	Len() int
+	At(i int) float64
+}
+
+type sliceHistory []float64
+
+func (s sliceHistory) Len() int         { return len(s) }
+func (s sliceHistory) At(i int) float64 { return s[i] }
+
+func buildTemplate(history history, samplesPerHour int, percentile float64) (Template, error) {
 	if samplesPerHour <= 0 {
 		return Template{}, fmt.Errorf("power: samplesPerHour must be positive, got %d", samplesPerHour)
 	}
-	if len(history) < samplesPerHour*HoursPerWeek {
+	if history.Len() < samplesPerHour*HoursPerWeek {
 		return Template{}, fmt.Errorf("power: need at least one week of history (%d samples), got %d",
-			samplesPerHour*HoursPerWeek, len(history))
+			samplesPerHour*HoursPerWeek, history.Len())
 	}
 	// Each sample contributes to its own hour bucket and the two adjacent
 	// ones. With only one week of history a bucket would otherwise hold a
@@ -35,7 +59,8 @@ func BuildTemplate(history []float64, samplesPerHour int, percentile float64) (T
 	// max; the ±1 h window both enlarges the bucket and folds in the
 	// diurnal slope, which is what makes P99 templates conservative.
 	var buckets [HoursPerWeek][]float64
-	for i, v := range history {
+	for i, n := 0, history.Len(); i < n; i++ {
+		v := history.At(i)
 		hour := (i / samplesPerHour) % HoursPerWeek
 		for _, h := range [3]int{hour - 1, hour, hour + 1} {
 			buckets[(h+HoursPerWeek)%HoursPerWeek] = append(buckets[(h+HoursPerWeek)%HoursPerWeek], v)

@@ -1,0 +1,79 @@
+// Package ring provides a fixed-capacity float64 ring buffer for rolling
+// telemetry histories. Unlike an append-and-copy bounded slice, a Ring never
+// reallocates or shifts after construction: Push is O(1) and the ordered
+// contents are reachable either element-wise via At or as a snapshot copied
+// into a caller-owned buffer. The simulator records one sample per history
+// interval per row/server, so the per-tick hot path must not allocate here.
+package ring
+
+// Ring is a bounded rolling window of float64 samples. Once Len reaches the
+// capacity, each Push evicts the oldest sample. The zero value is unusable;
+// construct with New.
+type Ring struct {
+	buf   []float64
+	head  int // index of the oldest sample
+	count int
+}
+
+// New returns an empty ring holding at most capacity samples.
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Push appends a sample, evicting the oldest once the ring is full.
+func (r *Ring) Push(v float64) {
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = v
+		r.count++
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// Len returns the number of stored samples (≤ Cap).
+func (r *Ring) Len() int { return r.count }
+
+// Cap returns the fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// At returns the i-th stored sample in insertion order: At(0) is the oldest,
+// At(Len()-1) the newest. It panics when i is out of range, matching slice
+// semantics.
+func (r *Ring) At(i int) float64 {
+	if i < 0 || i >= r.count {
+		panic("ring: index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Last returns the newest sample and whether one exists.
+func (r *Ring) Last() (float64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	return r.At(r.count - 1), true
+}
+
+// Snapshot copies the samples oldest-to-newest into dst (grown as needed)
+// and returns it. Passing a previously returned slice makes repeated
+// snapshots allocation-free once dst has reached the ring's length.
+func (r *Ring) Snapshot(dst []float64) []float64 {
+	if cap(dst) < r.count {
+		dst = make([]float64, r.count)
+	}
+	dst = dst[:r.count]
+	n := copy(dst, r.buf[r.head:minInt(r.head+r.count, len(r.buf))])
+	copy(dst[n:], r.buf[:r.count-n])
+	return dst
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

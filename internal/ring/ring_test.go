@@ -1,0 +1,98 @@
+package ring
+
+import (
+	"testing"
+)
+
+func TestPushAndOrderBeforeWrap(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 3; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 3 || r.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d, want 3/4", r.Len(), r.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		if got := r.At(i); got != float64(i) {
+			t.Errorf("At(%d) = %v, want %d", i, got, i)
+		}
+	}
+}
+
+func TestWraparoundKeepsNewest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want bounded at 3", r.Len())
+	}
+	want := []float64{7, 8, 9}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Errorf("At(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if last, ok := r.Last(); !ok || last != 9 {
+		t.Errorf("Last = %v,%v, want 9,true", last, ok)
+	}
+}
+
+func TestSnapshotOrderingAcrossWrap(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 8; i++ { // head lands mid-buffer
+		r.Push(float64(i * 10))
+	}
+	snap := r.Snapshot(nil)
+	want := []float64{30, 40, 50, 60, 70}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), len(want))
+	}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Errorf("snapshot[%d] = %v, want %v", i, snap[i], want[i])
+		}
+	}
+	// Reusing the returned buffer must not allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		snap = r.Snapshot(snap)
+	})
+	if allocs != 0 {
+		t.Errorf("Snapshot with reused buffer allocates %.1f times", allocs)
+	}
+}
+
+func TestPushAllocFree(t *testing.T) {
+	r := New(16)
+	allocs := testing.AllocsPerRun(1000, func() { r.Push(1.5) })
+	if allocs != 0 {
+		t.Errorf("Push allocates %.1f times per call", allocs)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	r := New(0) // clamped to capacity 1
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", r.Cap())
+	}
+	if _, ok := r.Last(); ok {
+		t.Error("Last on empty ring must report false")
+	}
+	if got := r.Snapshot(nil); len(got) != 0 {
+		t.Errorf("empty snapshot len = %d, want 0", len(got))
+	}
+	r.Push(1)
+	r.Push(2)
+	if r.Len() != 1 || r.buf[0] != 2 {
+		t.Errorf("capacity-1 ring must keep only the newest sample")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range must panic")
+		}
+	}()
+	New(2).At(0)
+}

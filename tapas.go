@@ -17,6 +17,7 @@
 package tapas
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"time"
@@ -112,21 +113,75 @@ func ExperimentTitle(id string) (string, bool) {
 	return s.Title, ok
 }
 
+// ExperimentParams configures experiment regeneration.
+type ExperimentParams struct {
+	// Scale multiplies cluster size and duration (1.0 = paper scale; 0
+	// defaults to 1.0).
+	Scale float64
+	// Seed drives all deterministic generators.
+	Seed uint64
+	// Parallel bounds the worker pool used by multi-run experiments and by
+	// RunExperiments' cross-experiment fan-out. ≤ 0 selects GOMAXPROCS; 1
+	// forces fully sequential execution. Reports are byte-identical across
+	// worker counts.
+	Parallel int
+}
+
 // RunExperiment regenerates one of the paper's tables/figures and writes the
 // report to w. scale 1.0 is paper scale; smaller values shrink cluster size
 // and duration proportionally (0.12 is used by the benchmarks).
+// Multi-run experiments fan their independent simulations out across
+// GOMAXPROCS workers; use RunExperimentWith to bound the pool.
 func RunExperiment(id string, scale float64, seed uint64, w io.Writer) error {
+	return RunExperimentWith(id, ExperimentParams{Scale: scale, Seed: seed}, w)
+}
+
+// RunExperimentWith is RunExperiment with explicit parallelism control.
+func RunExperimentWith(id string, p ExperimentParams, w io.Writer) error {
 	spec, ok := experiments.Lookup(id)
 	if !ok {
 		return fmt.Errorf("tapas: unknown experiment %q (known: %v)", id, ExperimentIDs())
 	}
-	if scale <= 0 {
-		scale = 1
+	if p.Scale <= 0 {
+		p.Scale = 1
 	}
-	rep, err := spec.Run(experiments.Params{Scale: scale, Seed: seed})
+	rep, err := spec.Run(experiments.Params{Scale: p.Scale, Seed: p.Seed, Parallel: p.Parallel})
 	if err != nil {
 		return fmt.Errorf("tapas: experiment %s: %w", id, err)
 	}
 	_, err = rep.WriteTo(w)
 	return err
+}
+
+// RunExperiments regenerates several experiments, fanning them out across
+// the worker pool, and writes the reports to w in the order of ids — the
+// output is byte-identical to running them one by one. Each report is
+// buffered in full before anything is written, so a failure in any
+// experiment leaves w untouched.
+//
+// Parallel bounds the total number of concurrent simulations: with several
+// ids the fan-out happens across experiments and each experiment runs its
+// own jobs sequentially, so the pool is never multiplied. (A single id
+// passes Parallel through to the experiment's internal fan-out instead.)
+func RunExperiments(ids []string, p ExperimentParams, w io.Writer) error {
+	child := p
+	if len(ids) > 1 {
+		child.Parallel = 1
+	}
+	bufs, err := experiments.RunParallel(len(ids), p.Parallel, func(_, job int) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		if err := RunExperimentWith(ids[job], child, &b); err != nil {
+			return nil, err
+		}
+		return &b, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
