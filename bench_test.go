@@ -129,6 +129,40 @@ func BenchmarkInstanceStep(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileScenario measures building the run-invariant artifacts
+// (layout, workload trace, weather, LLM profile, thermal coefficient tables,
+// seeded history) that experiment grids share across runs.
+func BenchmarkCompileScenario(b *testing.B) {
+	sc := sim.SmallScenario()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Compile(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledScenarioRun measures a full run from an existing
+// compilation — the marginal cost of each additional policy evaluated over a
+// shared scenario (contrast with Run, which compiles per call).
+func BenchmarkCompiledScenarioRun(b *testing.B) {
+	sc := sim.SmallScenario()
+	sc.Duration = 20 * time.Minute
+	sc.Workload.Duration = sc.Duration
+	cs, err := sim.Compile(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.Run(core.NewFull()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkEngineTick(b *testing.B) {
 	// Cost of one simulated minute across 80 servers under full TAPAS.
 	sc := sim.SmallScenario()

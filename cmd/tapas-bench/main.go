@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	tapas "github.com/tapas-sim/tapas"
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "", "experiment ID to run, or 'all'")
-		scale    = flag.Float64("scale", 1.0, "cluster/duration scale (1.0 = paper scale)")
-		seed     = flag.Uint64("seed", 42, "deterministic seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent runs (1 = sequential)")
-		list     = flag.Bool("list", false, "list available experiments")
+		run        = flag.String("run", "", "experiment ID to run, or 'all'")
+		scale      = flag.Float64("scale", 1.0, "cluster/duration scale (1.0 = paper scale)")
+		seed       = flag.Uint64("seed", 42, "deterministic seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent runs (1 = sequential)")
+		list       = flag.Bool("list", false, "list available experiments")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	)
 	flag.Parse()
 
@@ -47,9 +49,29 @@ func main() {
 	if *run == "all" {
 		ids = tapas.ExperimentIDs()
 	}
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tapas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tapas-bench: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 	params := tapas.ExperimentParams{Scale: *scale, Seed: *seed, Parallel: *parallel}
 	start := time.Now()
-	if err := tapas.RunExperiments(ids, params, os.Stdout); err != nil {
+	err := tapas.RunExperiments(ids, params, os.Stdout)
+	// Flush the profile before any exit: a profile of a failing run is the
+	// one most worth keeping.
+	stopProfile()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "tapas-bench: %v\n", err)
 		os.Exit(1)
 	}

@@ -34,11 +34,9 @@ func main() {
 					s.row1 += st.ServerPowerW[srv.ID]
 				}
 			}
-			for _, temps := range st.GPUTempC {
-				for _, tc := range temps {
-					if tc > s.maxT {
-						s.maxT = tc
-					}
+			for _, tc := range st.GPUTempC {
+				if tc > s.maxT {
+					s.maxT = tc
 				}
 			}
 			out = append(out, s)

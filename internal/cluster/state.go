@@ -56,12 +56,17 @@ type State struct {
 	ServerPowerW     []float64
 	ServerLoadFrac   []float64
 	ServerAirflowCFM []float64
-	ServerFreqCap    []float64   // 1 = uncapped; lowered by capping
-	GPUPowerFrac     [][]float64 // per server, per GPU
-	GPUTempC         [][]float64
-	RowPowerW        []float64
-	AisleDemandCFM   []float64
-	AisleRecircC     []float64
+	ServerFreqCap    []float64 // 1 = uncapped; lowered by capping
+	// GPUPowerFrac and GPUTempC are flat per-GPU telemetry indexed
+	// server*GPUsPerServer + gpu; use GPUFracs/GPUTemps for the per-server
+	// view. The flat layout keeps the simulator's fleet sweeps on contiguous
+	// memory instead of a slice-of-slices pointer chase.
+	GPUPowerFrac   []float64
+	GPUTempC       []float64
+	GPUsPerServer  int
+	RowPowerW      []float64
+	AisleDemandCFM []float64
+	AisleRecircC   []float64
 	// AirflowLimitFrac scales provisioned aisle airflow (0.9 during a
 	// cooling emergency).
 	AirflowLimitFrac float64
@@ -89,10 +94,18 @@ type State struct {
 	freeDirty   bool
 }
 
-// NewState initializes cluster state for a datacenter and workload.
+// NewState initializes cluster state for a datacenter and workload, building
+// a fresh LLM profile. Prefer NewStateFrom when running the same scenario
+// repeatedly: the profile depends only on the hardware generation and can be
+// shared read-only across runs.
 func NewState(dc *layout.Datacenter, w *trace.Workload) *State {
+	return NewStateFrom(dc, w, llm.BuildProfile(layout.Spec(dc.Config.GPU), llm.DefaultWorkload()))
+}
+
+// NewStateFrom initializes cluster state around a pre-built (immutable) LLM
+// profile.
+func NewStateFrom(dc *layout.Datacenter, w *trace.Workload, profile *llm.Profile) *State {
 	spec := layout.Spec(dc.Config.GPU)
-	profile := llm.BuildProfile(spec, llm.DefaultWorkload())
 	n := len(dc.Servers)
 	st := &State{
 		DC:      dc,
@@ -108,8 +121,9 @@ func NewState(dc *layout.Datacenter, w *trace.Workload) *State {
 		ServerLoadFrac:   make([]float64, n),
 		ServerAirflowCFM: make([]float64, n),
 		ServerFreqCap:    make([]float64, n),
-		GPUPowerFrac:     make([][]float64, n),
-		GPUTempC:         make([][]float64, n),
+		GPUPowerFrac:     make([]float64, n*spec.GPUsPerServer),
+		GPUTempC:         make([]float64, n*spec.GPUsPerServer),
+		GPUsPerServer:    spec.GPUsPerServer,
 		RowPowerW:        make([]float64, len(dc.Rows)),
 		AisleDemandCFM:   make([]float64, len(dc.Aisles)),
 		AisleRecircC:     make([]float64, len(dc.Aisles)),
@@ -128,8 +142,6 @@ func NewState(dc *layout.Datacenter, w *trace.Workload) *State {
 	for i := range st.ServerVM {
 		st.ServerVM[i] = -1
 		st.ServerFreqCap[i] = 1
-		st.GPUPowerFrac[i] = make([]float64, spec.GPUsPerServer)
-		st.GPUTempC[i] = make([]float64, spec.GPUsPerServer)
 	}
 	for r := range st.RowPowerHist {
 		st.RowPowerHist[r] = ring.New(HistoryMaxSamples)
@@ -260,6 +272,33 @@ func (st *State) EndpointInstances(endpoint int) []*VM {
 		return nil
 	}
 	return st.epInstances[endpoint]
+}
+
+// GPUFracs returns the per-GPU power fractions of one server as a subslice
+// of the flat telemetry array.
+func (st *State) GPUFracs(server int) []float64 {
+	i := server * st.GPUsPerServer
+	return st.GPUPowerFrac[i : i+st.GPUsPerServer]
+}
+
+// GPUTemps returns the per-GPU temperatures of one server as a subslice of
+// the flat telemetry array.
+func (st *State) GPUTemps(server int) []float64 {
+	i := server * st.GPUsPerServer
+	return st.GPUTempC[i : i+st.GPUsPerServer]
+}
+
+// SeedHistory installs precomputed "previous week" demand estimates (§3.1):
+// per-customer peak IaaS load and per-endpoint peak per-VM token demand. The
+// maps are copied, so a compiled scenario can hand the same seeds to many
+// concurrent runs.
+func (st *State) SeedHistory(customerPeak, endpointPeak map[int]float64) {
+	for c, v := range customerPeak {
+		st.CustomerPeakLoad[c] = v
+	}
+	for e, v := range endpointPeak {
+		st.EndpointPeakPerVM[e] = v
+	}
 }
 
 // AisleLimitCFM returns the effective provisioned airflow of an aisle under

@@ -70,7 +70,7 @@ func TestAllocatorPlacesIaaSCoolerThanSaaS(t *testing.T) {
 	proj := func(server int) float64 {
 		inlet := prof.Inlet.Predict(server, 34, 0.8)
 		hot := 0.0
-		for g := range st.GPUTempC[server] {
+		for g := 0; g < st.GPUsPerServer; g++ {
 			if tc := prof.GPUTemp.Predict(server, g, inlet, 1); tc > hot {
 				hot = tc
 			}
@@ -91,7 +91,7 @@ func TestAllocatorSaaSAvoidsThrottleRange(t *testing.T) {
 		t.Fatal("placement failed")
 	}
 	inlet := prof.Inlet.Predict(srv, 34, 0.8)
-	for g := range st.GPUTempC[srv] {
+	for g := 0; g < st.GPUsPerServer; g++ {
 		if tc := prof.GPUTemp.Predict(srv, g, inlet, 1); tc > st.Spec.ThrottleTempC {
 			t.Errorf("SaaS placed where full load projects %.1f °C (above throttle)", tc)
 		}
@@ -240,8 +240,9 @@ func TestRouterAvoidsHotServers(t *testing.T) {
 	rt := &router{prof: prof}
 	// Make one server thermally critical.
 	hot := vms[0].Server
-	for g := range st.GPUTempC[hot] {
-		st.GPUTempC[hot][g] = st.Spec.ThrottleTempC - 1
+	temps := st.GPUTemps(hot)
+	for g := range temps {
+		temps[g] = st.Spec.ThrottleTempC - 1
 	}
 	// High demand (spread regime) that still fits the safe instances'
 	// serving capacity, so nothing overflows onto the risky one.
@@ -312,10 +313,8 @@ func TestRouterOverloadStillServesEveryone(t *testing.T) {
 	st, prof := newComponentState(t)
 	vms := setupEndpoint(t, st, 4)
 	// Everything at risk: temps critical everywhere.
-	for s := range st.GPUTempC {
-		for g := range st.GPUTempC[s] {
-			st.GPUTempC[s][g] = st.Spec.ThrottleTempC
-		}
+	for i := range st.GPUTempC {
+		st.GPUTempC[i] = st.Spec.ThrottleTempC
 	}
 	rt := &router{prof: prof}
 	rt.route(st, st.Work.Endpoints[0], 4e5, 1e5)

@@ -140,7 +140,7 @@ func (c *configurator) configure(st *cluster.State) {
 		// power fraction at the current inlet (learned model inversion).
 		inlet := st.ServerInletC[vm.Server]
 		maxFrac := 1.0
-		for g := range st.GPUTempC[vm.Server] {
+		for g := 0; g < st.GPUsPerServer; g++ {
 			h := c.prof.GPUTemp.HeadroomPowerFrac(vm.Server, g, inlet, st.Spec.ThrottleTempC-configTempMargin)
 			if h < maxFrac {
 				maxFrac = h

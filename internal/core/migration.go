@@ -103,7 +103,7 @@ func (m *migrator) selectTarget(st *cluster.State, vm *cluster.VM, ceiling float
 		}
 		inlet := st.ServerInletC[id]
 		proj := 0.0
-		for g := range st.GPUTempC[id] {
+		for g := 0; g < st.GPUsPerServer; g++ {
 			if t := m.prof.GPUTemp.Predict(id, g, inlet, estLoad); t > proj {
 				proj = t
 			}
@@ -120,7 +120,7 @@ func (m *migrator) selectTarget(st *cluster.State, vm *cluster.VM, ceiling float
 func (m *migrator) hottestPredicted(st *cluster.State, server int) float64 {
 	inlet := st.ServerInletC[server]
 	hot := 0.0
-	for g, frac := range st.GPUPowerFrac[server] {
+	for g, frac := range st.GPUFracs(server) {
 		if t := m.prof.GPUTemp.Predict(server, g, inlet, frac); t > hot {
 			hot = t
 		}

@@ -43,8 +43,9 @@ func TestMigratorMovesHotSaaSVM(t *testing.T) {
 		}
 	}
 	st.ServerInletC[hot] = 28
-	for g := range st.GPUPowerFrac[hot] {
-		st.GPUPowerFrac[hot][g] = 0.95
+	fracs := st.GPUFracs(hot)
+	for g := range fracs {
+		fracs[g] = 0.95
 	}
 	st.Now = time.Hour
 
@@ -101,8 +102,9 @@ func TestMigratorNeverMovesIaaS(t *testing.T) {
 		}
 	}
 	st.ServerInletC[hot] = 30
-	for g := range st.GPUPowerFrac[hot] {
-		st.GPUPowerFrac[hot][g] = 1
+	fracs := st.GPUFracs(hot)
+	for g := range fracs {
+		fracs[g] = 1
 	}
 	st.Now = time.Hour
 	if got := mig.step(st); got != 0 {

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/power"
@@ -99,4 +100,53 @@ func BuildProfiles(dc *layout.Datacenter) (*Profiles, error) {
 		Airflow: airflowModel,
 		Power:   powerModel,
 	}, nil
+}
+
+// profilesKey identifies a datacenter's content: generation is deterministic
+// in the layout config, and the server count additionally captures
+// oversubscription (AddRacks is deterministic too). Two datacenters with the
+// same key hold identical heterogeneity, so they share one fitted Profiles.
+type profilesKey struct {
+	cfg     layout.Config
+	servers int
+}
+
+type profilesEntry struct {
+	once sync.Once
+	prof *Profiles
+	err  error
+}
+
+var (
+	profilesMu    sync.Mutex
+	profilesCache = map[profilesKey]*profilesEntry{}
+	profilesOrder []profilesKey
+)
+
+// profilesCacheCap bounds the memoized profile set; experiment grids touch a
+// handful of distinct layouts, so eviction only matters for long benchmark
+// loops churning through scaled configs.
+const profilesCacheCap = 16
+
+// ProfilesFor returns the offline profiles for a datacenter, fitting them at
+// most once per distinct layout. The returned Profiles are read-only and
+// shared: concurrent runs over the same (or an identical) datacenter reuse
+// one model set instead of refitting per run.
+func ProfilesFor(dc *layout.Datacenter) (*Profiles, error) {
+	key := profilesKey{cfg: dc.Config, servers: len(dc.Servers)}
+	profilesMu.Lock()
+	e, ok := profilesCache[key]
+	if !ok {
+		if len(profilesOrder) >= profilesCacheCap {
+			oldest := profilesOrder[0]
+			profilesOrder = profilesOrder[1:]
+			delete(profilesCache, oldest)
+		}
+		e = &profilesEntry{}
+		profilesCache[key] = e
+		profilesOrder = append(profilesOrder, key)
+	}
+	profilesMu.Unlock()
+	e.once.Do(func() { e.prof, e.err = BuildProfiles(dc) })
+	return e.prof, e.err
 }

@@ -62,7 +62,7 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 		rowUse := st.RowPowerW[srv.Row] / (st.Budget.RowLimitW(srv.Row) + 1)
 		aisleUse := st.AisleDemandCFM[srv.Aisle] / (st.AisleLimitCFM(srv.Aisle) + 1)
 		maxTemp := 0.0
-		for _, t := range st.GPUTempC[vm.Server] {
+		for _, t := range st.GPUTemps(vm.Server) {
 			if t > maxTemp {
 				maxTemp = t
 			}

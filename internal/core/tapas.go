@@ -70,8 +70,10 @@ func (t *TAPAS) Name() string {
 }
 
 // Init runs the offline profiling phase (§4.5) against the datacenter.
+// Profiles are memoized per layout (ProfilesFor), so repeated runs over a
+// shared compiled scenario fit the regression models once.
 func (t *TAPAS) Init(st *cluster.State) error {
-	prof, err := BuildProfiles(st.DC)
+	prof, err := ProfilesFor(st.DC)
 	if err != nil {
 		return err
 	}

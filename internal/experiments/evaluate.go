@@ -17,10 +17,16 @@ func tapasPolicy() sim.Policy    { return core.NewFull() }
 // paper reports a 4% absolute error between its real cluster and simulator).
 func Fig18(p Params) (*Report, error) {
 	r := &Report{ID: "fig18", Title: "Real-cluster peak power: Baseline vs TAPAS"}
-	sc := smallScenario(p)
+	// One compilation covers all three runs (Baseline, TAPAS, and the
+	// fine-tick validation below): layout, workload, weather and seeded
+	// history are identical across them.
+	cs, err := sim.Compile(smallScenario(p))
+	if err != nil {
+		return nil, err
+	}
 	results := map[string]*sim.Result{}
 	for _, pol := range []sim.Policy{baselinePolicy(), tapasPolicy()} {
-		res, err := sim.Run(sc, pol)
+		res, err := cs.Run(pol)
 		if err != nil {
 			return nil, err
 		}
@@ -44,10 +50,10 @@ func Fig18(p Params) (*Report, error) {
 	r.addf("TAPAS P99 SLO violations: %.2f%%, quality: %.3f", tapas.SLOViolationRate()*100, tapas.AvgQuality())
 
 	// Simulator validation: the same scenario at a finer tick plays the
-	// "real cluster"; the coarse fluid run is the simulator.
-	fine := sc
-	fine.Tick = 15 * time.Second
-	fineRes, err := sim.Run(fine, tapasPolicy())
+	// "real cluster"; the coarse fluid run is the simulator. The tick is a
+	// runtime-only knob, so the compiled artifacts are reused as-is.
+	fine := cs.Variant(func(sc *sim.Scenario) { sc.Tick = 15 * time.Second })
+	fineRes, err := fine.Run(tapasPolicy())
 	if err != nil {
 		return nil, err
 	}
@@ -66,10 +72,13 @@ func Fig18(p Params) (*Report, error) {
 // power for Baseline vs TAPAS.
 func Fig19(p Params) (*Report, error) {
 	r := &Report{ID: "fig19", Title: "Week-scale max temperature and peak power"}
-	sc := scaledScenario(p)
+	cs, err := sim.Compile(scaledScenario(p))
+	if err != nil {
+		return nil, err
+	}
 	results := map[string]*sim.Result{}
 	for _, pol := range []sim.Policy{baselinePolicy(), tapasPolicy()} {
-		res, err := sim.Run(sc, pol)
+		res, err := cs.Run(pol)
 		if err != nil {
 			return nil, err
 		}
@@ -132,16 +141,23 @@ func Fig20(p Params) (*Report, error) {
 		header += fmt.Sprintf(" %12s", m.name)
 	}
 	r.Lines = append(r.Lines, "normalized max temperature / normalized peak power", header)
-	// The 8 variants × 5 mixes grid is 40 independent simulations; fan them
-	// out and reassemble the table in grid order (each run builds a fresh
-	// policy and scenario, so results match the sequential path exactly).
+	// The 8 variants × 5 mixes grid is 40 independent simulations. The five
+	// mixes compile once each (workload generation differs per SaaS
+	// fraction); all eight policy variants of a mix then share the compiled
+	// artifacts read-only across the worker pool. Results match the
+	// compile-per-run path exactly.
+	compiled, err := RunParallel(len(mixes), p.Parallel, func(_, mi int) (*sim.CompiledScenario, error) {
+		sc := scaledScenario(p)
+		sc.Workload.SaaSFraction = mixes[mi].saas
+		return sim.Compile(sc)
+	})
+	if err != nil {
+		return nil, err
+	}
 	type cell struct{ temp, power float64 }
 	cells, err := RunParallel(len(variants)*len(mixes), p.Parallel, func(_, job int) (cell, error) {
 		opts := variants[job/len(mixes)]
-		m := mixes[job%len(mixes)]
-		sc := scaledScenario(p)
-		sc.Workload.SaaSFraction = m.saas
-		res, err := sim.Run(sc, core.New(opts))
+		res, err := compiled[job%len(mixes)].Run(core.New(opts))
 		if err != nil {
 			return cell{}, err
 		}
@@ -168,10 +184,16 @@ func Fig21(p Params) (*Report, error) {
 	r := &Report{ID: "fig21", Title: "Oversubscription capping sweep"}
 	r.addf("%-8s %10s %14s %14s", "policy", "oversub%", "thermal-cap%", "power-cap%")
 	for _, ratio := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		// Oversubscription changes the generated layout, so each ratio
+		// compiles once and both policies share it.
+		sc := scaledScenario(p)
+		sc.Oversubscribe = ratio
+		cs, err := sim.Compile(sc)
+		if err != nil {
+			return nil, err
+		}
 		for _, mk := range []func() sim.Policy{baselinePolicy, tapasPolicy} {
-			sc := scaledScenario(p)
-			sc.Oversubscribe = ratio
-			res, err := sim.Run(sc, mk())
+			res, err := cs.Run(mk())
 			if err != nil {
 				return nil, err
 			}
@@ -195,19 +217,27 @@ func Table2(p Params) (*Report, error) {
 		sc.Workload.Occupancy = 0.97
 	}
 	// The emergency matrix is 2 emergencies × 2 policies × {normal, failed}
-	// = 8 independent simulations; fan them out and reassemble in order.
+	// = 8 independent simulations sharing one compiled scenario: the failure
+	// schedule is a runtime-only knob, so every job reuses the same layout,
+	// workload and seeded history via Variant.
+	base := smallScenario(p)
+	peakLoad(&base)
+	cs, err := sim.Compile(base)
+	if err != nil {
+		return nil, err
+	}
 	emergencies := []sim.FailureKind{sim.PowerFailure, sim.CoolingFailure}
 	policies := []func() sim.Policy{baselinePolicy, tapasPolicy}
 	runs, err := RunParallel(len(emergencies)*len(policies)*2, p.Parallel, func(_, job int) (*sim.Result, error) {
 		emergency := emergencies[job/(len(policies)*2)]
 		mk := policies[(job/2)%len(policies)]
-		fail := job%2 == 1
-		sc := smallScenario(p)
-		peakLoad(&sc)
-		if fail {
-			sc.Failures = []sim.FailureEvent{{Kind: emergency, At: sc.Duration / 6, Duration: sc.Duration}}
+		run := cs
+		if job%2 == 1 {
+			run = cs.Variant(func(sc *sim.Scenario) {
+				sc.Failures = []sim.FailureEvent{{Kind: emergency, At: sc.Duration / 6, Duration: sc.Duration}}
+			})
 		}
-		return sim.Run(sc, mk())
+		return run.Run(mk())
 	})
 	if err != nil {
 		return nil, err

@@ -36,12 +36,14 @@ func TestAllExperimentsRunAtQuickScale(t *testing.T) {
 
 // TestParallelReportsDeterministic pins the fan-out contract: multi-run
 // experiments produce byte-identical reports whether their independent runs
-// execute sequentially or on a worker pool.
+// execute sequentially or on a worker pool. fig20 and table2 share one
+// compiled scenario per mix across the pool, so this also pins that the
+// shared read-only artifacts cannot skew results.
 func TestParallelReportsDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run sweep skipped in -short")
 	}
-	for _, id := range []string{"fig11", "table2"} {
+	for _, id := range []string{"fig11", "fig20", "table2"} {
 		spec, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("%s not registered", id)

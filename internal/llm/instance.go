@@ -41,6 +41,15 @@ type Instance struct {
 	// last Step; the configurator reads it as the live demand signal.
 	enqueuedTokens float64
 
+	// Derived rates of the current configuration, cached because Step,
+	// DemandSeconds and GPUPowerFrac run per instance per tick while the
+	// configuration changes rarely. Refreshed by refreshRates.
+	prefillRate float64 // PrefillRate(Spec, Config)
+	decodeRate  float64 // DecodeTokenRate(Spec, Config, Config.MaxBatch)
+	prefillFrac float64 // GPUPowerFrac(Spec, Config, Prefill)
+	decodeFrac  float64 // GPUPowerFrac(Spec, Config, Decode)
+	gpuIdleFrac float64 // Spec.GPUIdleW / Spec.GPUTDPW
+
 	// Cumulative accounting.
 	ServedTokens      float64
 	CompletedRequests float64
@@ -50,11 +59,22 @@ type Instance struct {
 
 // NewInstance builds an instance at the given configuration.
 func NewInstance(spec layout.GPUSpec, c Config, w Workload, slos SLOs) *Instance {
-	return &Instance{
+	in := &Instance{
 		Spec: spec, Config: c, Work: w, SLOs: slos,
 		outputRatio: w.AvgOutputTokens / w.AvgPromptTokens,
 		affinity:    make(map[int]time.Duration),
 	}
+	in.refreshRates()
+	return in
+}
+
+// refreshRates recomputes the cached configuration-derived rates.
+func (in *Instance) refreshRates() {
+	in.prefillRate = PrefillRate(in.Spec, in.Config)
+	in.decodeRate = DecodeTokenRate(in.Spec, in.Config, in.Config.MaxBatch)
+	in.prefillFrac = GPUPowerFrac(in.Spec, in.Config, Prefill)
+	in.decodeFrac = GPUPowerFrac(in.Spec, in.Config, Decode)
+	in.gpuIdleFrac = in.Spec.GPUIdleW / in.Spec.GPUTDPW
 }
 
 // Enqueue adds a request's tokens to the instance queues.
@@ -92,13 +112,14 @@ func (in *Instance) Reloading() bool { return in.reloadLeft > 0 }
 func (in *Instance) Reconfigure(to Config) {
 	in.reloadLeft += ReconfigTime(in.Config, to)
 	in.Config = to
+	in.refreshRates()
 }
 
 // DemandSeconds estimates how many seconds of work currently sit in the
 // queues under the present configuration.
 func (in *Instance) DemandSeconds() float64 {
-	pr := PrefillRate(in.Spec, in.Config)
-	dr := DecodeTokenRate(in.Spec, in.Config, in.Config.MaxBatch)
+	pr := in.prefillRate
+	dr := in.decodeRate
 	if pr <= 0 || dr <= 0 {
 		return 0
 	}
@@ -132,8 +153,8 @@ func (in *Instance) Step(dt time.Duration) {
 	if sf <= 0 || sf > 1 {
 		sf = 1
 	}
-	pr := PrefillRate(in.Spec, in.Config) * sf
-	dr := DecodeTokenRate(in.Spec, in.Config, in.Config.MaxBatch) * sf
+	pr := in.prefillRate * sf
+	dr := in.decodeRate * sf
 
 	// Drain in sub-steps with decode priority, so prompt tokens prefetched
 	// early in the tick get their decode work served within the same tick —
@@ -188,12 +209,12 @@ func (in *Instance) Step(dt time.Duration) {
 // GPUPowerFrac returns the current per-active-GPU power fraction given this
 // tick's busy fraction and phase mix.
 func (in *Instance) GPUPowerFrac() float64 {
-	idleFrac := in.Spec.GPUIdleW / in.Spec.GPUTDPW
+	idleFrac := in.gpuIdleFrac
 	if in.Reloading() {
 		return idleFrac
 	}
-	busy := in.BusyFrac*in.PrefillShare*GPUPowerFrac(in.Spec, in.Config, Prefill) +
-		in.BusyFrac*(1-in.PrefillShare)*GPUPowerFrac(in.Spec, in.Config, Decode)
+	busy := in.BusyFrac*in.PrefillShare*in.prefillFrac +
+		in.BusyFrac*(1-in.PrefillShare)*in.decodeFrac
 	return units.Clamp01(busy + (1-in.BusyFrac)*idleFrac)
 }
 

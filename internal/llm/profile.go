@@ -30,6 +30,11 @@ type Profile struct {
 	Work    Workload
 	SLOs    SLOs
 	Entries []ProfileEntry
+
+	// index maps a configuration to its position in Entries. Entry is called
+	// per instance per tick by the router, so the lookup must not scan (and
+	// copy) the whole entry table.
+	index map[Config]int
 }
 
 // BuildProfile characterizes every valid configuration, computing the data
@@ -47,6 +52,10 @@ func BuildProfile(spec layout.GPUSpec, w Workload) *Profile {
 		}
 		return p.Entries[i].Config.String() < p.Entries[j].Config.String()
 	})
+	p.index = make(map[Config]int, len(p.Entries))
+	for i, e := range p.Entries {
+		p.index[e.Config] = i
+	}
 	return p
 }
 
@@ -128,6 +137,13 @@ func (p *Profile) BestPreferringCheapReconfig(cur Config, maxGPUPowerFrac, maxSe
 
 // Entry returns the profile entry for an exact configuration.
 func (p *Profile) Entry(c Config) (ProfileEntry, bool) {
+	if p.index != nil {
+		if i, ok := p.index[c]; ok {
+			return p.Entries[i], true
+		}
+		return ProfileEntry{}, false
+	}
+	// Profiles assembled by hand (tests) have no index; fall back to a scan.
 	for _, e := range p.Entries {
 		if e.Config == c {
 			return e, true

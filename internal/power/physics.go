@@ -24,7 +24,14 @@ const dvfsExponent = 2.5
 func GPUPower(spec layout.GPUSpec, util, freqFrac float64) float64 {
 	util = units.Clamp01(util)
 	freqFrac = units.Clamp(freqFrac, spec.MinFreqGHz/spec.MaxFreqGHz, 1)
-	dynamic := (spec.GPUTDPW - spec.GPUIdleW) * util * math.Pow(freqFrac, dvfsExponent)
+	// Uncapped GPUs are the common case in the simulator's hot loop;
+	// math.Pow(1, x) is exactly 1, so skipping it preserves the result bit
+	// for bit.
+	scale := 1.0
+	if freqFrac != 1 {
+		scale = math.Pow(freqFrac, dvfsExponent)
+	}
+	dynamic := (spec.GPUTDPW - spec.GPUIdleW) * util * scale
 	return spec.GPUIdleW + dynamic
 }
 

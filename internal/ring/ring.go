@@ -9,10 +9,17 @@ package ring
 // Ring is a bounded rolling window of float64 samples. Once Len reaches the
 // capacity, each Push evicts the oldest sample. The zero value is unusable;
 // construct with New.
+//
+// The backing buffer grows geometrically up to the capacity instead of being
+// allocated in full at construction: the simulator creates one ring per
+// server per run sized for four weeks, while short runs push only a handful
+// of samples. Before the ring wraps, head is always 0 and the buffer is
+// dense, so growth is a plain copy.
 type Ring struct {
-	buf   []float64
-	head  int // index of the oldest sample
-	count int
+	buf      []float64
+	head     int // index of the oldest sample
+	count    int
+	capacity int
 }
 
 // New returns an empty ring holding at most capacity samples.
@@ -20,13 +27,25 @@ func New(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &Ring{buf: make([]float64, capacity)}
+	return &Ring{capacity: capacity}
 }
 
 // Push appends a sample, evicting the oldest once the ring is full.
 func (r *Ring) Push(v float64) {
-	if r.count < len(r.buf) {
-		r.buf[(r.head+r.count)%len(r.buf)] = v
+	if r.count < r.capacity {
+		if r.count == len(r.buf) {
+			newLen := 2 * len(r.buf)
+			if newLen == 0 {
+				newLen = 64
+			}
+			if newLen > r.capacity {
+				newLen = r.capacity
+			}
+			grown := make([]float64, newLen)
+			copy(grown, r.buf)
+			r.buf = grown
+		}
+		r.buf[r.count] = v
 		r.count++
 		return
 	}
@@ -38,7 +57,7 @@ func (r *Ring) Push(v float64) {
 func (r *Ring) Len() int { return r.count }
 
 // Cap returns the fixed capacity.
-func (r *Ring) Cap() int { return len(r.buf) }
+func (r *Ring) Cap() int { return r.capacity }
 
 // At returns the i-th stored sample in insertion order: At(0) is the oldest,
 // At(Len()-1) the newest. It panics when i is out of range, matching slice

@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCompiledRunMatchesFreshRun pins the compiled-scenario contract: running
+// from a shared compilation produces results deeply equal to compiling per
+// run, and repeated runs from one compilation do not contaminate each other.
+func TestCompiledRunMatchesFreshRun(t *testing.T) {
+	sc := SmallScenario()
+	fresh, err := Run(sc, naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := cs.Run(naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cs.Run(naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, first) {
+		t.Error("compiled run differs from fresh run")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("second run from the same compilation differs from the first")
+	}
+}
+
+// TestCompiledRunsConcurrently drives many simultaneous runs off one
+// compilation; with -race this proves the shared artifacts are read-only.
+func TestCompiledRunsConcurrently(t *testing.T) {
+	sc := SmallScenario()
+	sc.Duration = 20 * time.Minute
+	sc.Workload.Duration = sc.Duration
+	cs, err := Compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cs.Run(naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			results[w], errs[w] = cs.Run(naivePolicy{})
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reflect.DeepEqual(want, results[w]) {
+			t.Errorf("worker %d produced a different result", w)
+		}
+	}
+}
+
+// TestCompiledVariant verifies runtime-only variations (tick, failures)
+// reuse the compiled artifacts yet match a fresh compile of the varied
+// scenario.
+func TestCompiledVariant(t *testing.T) {
+	sc := SmallScenario()
+	sc.Duration = 20 * time.Minute
+	sc.Workload.Duration = sc.Duration
+	cs, err := Compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fineSc := sc
+	fineSc.Tick = 15 * time.Second
+	freshFine, err := Run(fineSc, naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variantFine, err := cs.Variant(func(s *Scenario) { s.Tick = 15 * time.Second }).Run(naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(freshFine, variantFine) {
+		t.Error("tick variant differs from fresh compile at that tick")
+	}
+
+	failSc := sc
+	failSc.Failures = []FailureEvent{{Kind: PowerFailure, At: 5 * time.Minute, Duration: 10 * time.Minute}}
+	freshFail, err := Run(failSc, naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variantFail, err := cs.Variant(func(s *Scenario) {
+		s.Failures = []FailureEvent{{Kind: PowerFailure, At: 5 * time.Minute, Duration: 10 * time.Minute}}
+	}).Run(naivePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(freshFail, variantFail) {
+		t.Error("failure variant differs from fresh compile with that schedule")
+	}
+	// The base compilation must be untouched by variants.
+	if cs.Scenario.Tick != sc.Tick || len(cs.Scenario.Failures) != 0 {
+		t.Error("Variant mutated the base compiled scenario")
+	}
+}
+
+// TestCompiledRunRejectsBadTick keeps the tick validation on the compiled
+// path.
+func TestCompiledRunRejectsBadTick(t *testing.T) {
+	cs, err := Compile(SmallScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cs.Variant(func(s *Scenario) { s.Tick = 0 }).Run(naivePolicy{}); err == nil {
+		t.Fatal("expected error for zero tick")
+	}
+}
+
+// TestCompiledRunRejectsStaleArtifacts pins the runtime-only contract: a
+// variant that changes a compile-relevant field must fail loudly instead of
+// simulating against artifacts compiled for different inputs.
+func TestCompiledRunRejectsStaleArtifacts(t *testing.T) {
+	cs, err := Compile(SmallScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"workload", func(s *Scenario) { s.Workload.SaaSFraction = 0.25 }},
+		{"region", func(s *Scenario) { s.Region.MeanC += 5 }},
+		{"oversubscribe", func(s *Scenario) { s.Oversubscribe = 0.3 }},
+		{"start offset", func(s *Scenario) { s.StartOffset += time.Hour }},
+		{"longer duration", func(s *Scenario) { s.Duration *= 2 }},
+	}
+	for _, tc := range bad {
+		if _, err := cs.Variant(tc.mutate).Run(naivePolicy{}); err == nil {
+			t.Errorf("%s variant must be rejected", tc.name)
+		}
+	}
+	// Shortening the duration stays within the compiled window and is fine.
+	short := cs.Variant(func(s *Scenario) {
+		s.Duration = 20 * time.Minute
+	})
+	if _, err := short.Run(naivePolicy{}); err != nil {
+		t.Errorf("shortened-duration variant must run: %v", err)
+	}
+}

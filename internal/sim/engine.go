@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/cluster"
-	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/thermal"
 	"github.com/tapas-sim/tapas/internal/trace"
@@ -22,35 +21,18 @@ const dynPowerExp = 2.5
 const capRecovery = 1.05
 
 // Run executes a scenario under a policy and returns the collected metrics.
+// It compiles the scenario's run-invariant artifacts and runs once; callers
+// evaluating several policies (or failure schedules) over the same scenario
+// should Compile once and call CompiledScenario.Run per policy instead.
 func Run(sc Scenario, pol Policy) (*Result, error) {
 	if sc.Tick <= 0 {
 		return nil, fmt.Errorf("sim: non-positive tick %v", sc.Tick)
 	}
-	dc, err := layout.New(sc.Layout)
+	cs, err := Compile(sc)
 	if err != nil {
 		return nil, err
 	}
-	if sc.Oversubscribe > 0 {
-		dc.AddRacks(sc.Oversubscribe)
-	}
-	wc := sc.Workload
-	wc.Servers = len(dc.Servers)
-	w, err := trace.Generate(wc)
-	if err != nil {
-		return nil, err
-	}
-	outside := trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, wc.Seed^0xd00d)
-	st := cluster.NewState(dc, w)
-
-	st.Tick = sc.Tick
-	seedHistory(st, w)
-	if init, ok := pol.(Initializer); ok {
-		if err := init.Init(st); err != nil {
-			return nil, fmt.Errorf("sim: policy init: %w", err)
-		}
-	}
-	r := &runner{sc: sc, pol: pol, st: st, outside: outside}
-	return r.run()
+	return cs.Run(pol)
 }
 
 // Initializer is an optional policy extension invoked once before the run,
@@ -59,49 +41,9 @@ type Initializer interface {
 	Init(st *cluster.State) error
 }
 
-// seedHistory pre-populates the per-customer and per-endpoint demand
-// estimates from the week preceding the simulation window — the "previous
-// week" history the paper's placement predictions rely on (§3.1, Fig. 14).
-// Policies that ignore history (the Baseline) are unaffected.
-//
-// Load shapes are shared per customer, so the 7×24-hour peak scan runs
-// once per unique customer on its first VM's pattern instead of once per
-// VM — workloads hold ~40 customers but thousands of VMs. The patterns do
-// carry small per-VM noise (±0.09 load fraction), which the old
-// max-over-all-VMs folded in; the single-VM estimate sits at most that far
-// below it, well within the prediction-error budget these seeds feed
-// (§4.1 assumes peak outright when history is missing). VM order is
-// deterministic, so the estimate is too.
-func seedHistory(st *cluster.State, w *trace.Workload) {
-	for _, vm := range w.VMs {
-		if vm.Kind != trace.IaaS {
-			continue
-		}
-		if _, seen := st.CustomerPeakLoad[vm.Customer]; seen {
-			continue
-		}
-		peak := 0.0
-		for h := 0; h < 7*24; h++ {
-			if l := vm.Load.At(time.Duration(h) * time.Hour); l > peak {
-				peak = l
-			}
-		}
-		st.ObserveCustomerLoad(vm.Customer, peak)
-	}
-	for _, ep := range w.Endpoints {
-		peak := 0.0
-		for h := 0; h < 7*24; h++ {
-			p, o := ep.DemandTokens(time.Duration(h)*time.Hour, time.Minute)
-			if d := (p + o) / 60 / float64(ep.NumVMs); d > peak {
-				peak = d
-			}
-		}
-		st.ObserveEndpointDemand(ep.ID, peak)
-	}
-}
-
 type runner struct {
 	sc      Scenario
+	cs      *CompiledScenario
 	pol     Policy
 	st      *cluster.State
 	outside *trace.OutsideTemp
@@ -136,6 +78,9 @@ func (r *runner) run() (*Result, error) {
 	r.res.TotalPowerW = make([]float64, 0, ticks)
 	if r.sc.RecordRowSeries {
 		r.res.RowPowerW = make([][]float64, len(st.DC.Rows))
+		for row := range r.res.RowPowerW {
+			r.res.RowPowerW[row] = make([]float64, 0, ticks)
+		}
 	}
 	n := len(st.DC.Servers)
 	r.thermalCap = make([]float64, n)
@@ -164,9 +109,7 @@ func (r *runner) run() (*Result, error) {
 		r.routeDemand(wall)
 		r.pol.Configure(st)
 		r.airflowStep()
-		r.stepServers(wall)
-		r.thermalStep()
-		r.powerStep()
+		r.fleetStep(wall)
 		st.RecordHistory(r.sc.Tick)
 		if r.sc.Observer != nil {
 			r.sc.Observer(st)
@@ -256,14 +199,15 @@ func (r *runner) airflowStep() {
 	spec := st.Spec
 	idleP := r.idlePowerW
 	maxP := spec.ServerTDPW
+	srvAisle := r.cs.srvAisle
 	for a := range st.AisleDemandCFM {
 		st.AisleDemandCFM[a] = 0
 	}
-	for _, s := range st.DC.Servers {
-		heatFrac := units.Clamp01((st.ServerPowerW[s.ID] - idleP) / (maxP - idleP))
+	for id := range st.ServerPowerW {
+		heatFrac := units.Clamp01((st.ServerPowerW[id] - idleP) / (maxP - idleP))
 		af := thermal.Airflow(spec, heatFrac)
-		st.ServerAirflowCFM[s.ID] = af
-		st.AisleDemandCFM[s.Aisle] += af
+		st.ServerAirflowCFM[id] = af
+		st.AisleDemandCFM[srvAisle[id]] += af
 	}
 	for a := range st.AisleDemandCFM {
 		limit := st.AisleLimitCFM(a)
@@ -275,39 +219,65 @@ func (r *runner) airflowStep() {
 	}
 }
 
-// stepServers advances SaaS instances and computes per-GPU power fractions
-// for every server.
-func (r *runner) stepServers(wall time.Duration) {
+// fleetStep is the fused tick kernel: one pass over the fleet advances SaaS
+// instances, computes per-GPU power fractions, applies hardware thermal
+// throttling against the compiled coefficient tables, and accumulates server,
+// row and total power — the work the engine previously spread across three
+// separate fleet sweeps (stepServers → thermalStep → powerStep). A trailing
+// per-row loop applies the policy's capping response and records the tick.
+//
+// A server-tick is thermally capped when its GPUs throttle or its aisle's
+// airflow is violated; power-capped when its row exceeds its effective limit.
+func (r *runner) fleetStep(wall time.Duration) {
 	st := r.st
 	spec := st.Spec
 	idleFrac := r.idleFrac
+	co := r.cs.Coeffs
+	srvRow, srvAisle := r.cs.srvRow, r.cs.srvAisle
+	gpus := st.GPUsPerServer
 	// Caps recover gradually, and only while the constraints that
 	// motivated them sit comfortably below their limits — otherwise
 	// recovery and re-capping oscillate across the limit every tick.
+	// Row eligibility reads the previous tick's power, so it must be
+	// evaluated before the accumulators reset.
 	for row := range r.rowRecoverOK {
 		r.rowRecoverOK[row] = st.RowPowerW[row] < st.Budget.RowLimitW(row)*0.93
 	}
 	for a := range r.aisleRecoverOK {
 		r.aisleRecoverOK[a] = st.AisleDemandCFM[a] < st.AisleLimitCFM(a)*0.93
 	}
-	for _, s := range st.DC.Servers {
-		if r.rowRecoverOK[s.Row] && r.aisleRecoverOK[s.Aisle] {
-			st.ServerFreqCap[s.ID] = math.Min(1, st.ServerFreqCap[s.ID]*capRecovery)
+	for row := range st.RowPowerW {
+		st.RowPowerW[row] = 0
+	}
+	// The cooling-curve base is uniform across the fleet this tick; only the
+	// per-server spatial offset and aisle recirculation vary.
+	inletBase := thermal.CoolingCurve(st.OutsideC, st.DCLoadFrac)
+	throttleC := spec.ThrottleTempC
+	maxTemp := 0.0
+	total := 0.0
+	n := len(st.ServerPowerW)
+	for id := 0; id < n; id++ {
+		row := int(srvRow[id])
+		aisle := int(srvAisle[id])
+		if r.rowRecoverOK[row] && r.aisleRecoverOK[aisle] {
+			st.ServerFreqCap[id] = math.Min(1, st.ServerFreqCap[id]*capRecovery)
 		}
+		base := id * gpus
+		temps := st.GPUTempC[base : base+gpus]
 		coolOK := true
-		for _, tc := range st.GPUTempC[s.ID] {
-			if tc > spec.ThrottleTempC-5 {
+		for _, tc := range temps {
+			if tc > throttleC-5 {
 				coolOK = false
 				break
 			}
 		}
 		if coolOK {
-			r.thermalCap[s.ID] = math.Min(1, r.thermalCap[s.ID]*capRecovery)
+			r.thermalCap[id] = math.Min(1, r.thermalCap[id]*capRecovery)
 		}
-		cap := st.ServerFreqCap[s.ID] * r.thermalCap[s.ID]
+		cap := st.ServerFreqCap[id] * r.thermalCap[id]
 
-		vmID := st.ServerVM[s.ID]
-		fracs := st.GPUPowerFrac[s.ID]
+		vmID := st.ServerVM[id]
+		fracs := st.GPUPowerFrac[base : base+gpus]
 		loadFrac := 0.0
 		switch {
 		case vmID == -1:
@@ -329,9 +299,15 @@ func (r *runner) stepServers(wall time.Duration) {
 			in := st.VMs[vmID].Instance
 			in.SpeedFactor = cap
 			in.Step(r.sc.Tick)
-			base := in.GPUPowerFrac()
+			gpuBase := in.GPUPowerFrac()
 			// Frequency capping shrinks the dynamic share of GPU power.
-			eff := idleFrac + (base-idleFrac)*math.Pow(cap, dynPowerExp)
+			// math.Pow(1, x) is exactly 1, so uncapped servers (the common
+			// case) skip the call without changing the result.
+			powCap := 1.0
+			if cap != 1 {
+				powCap = math.Pow(cap, dynPowerExp)
+			}
+			eff := idleFrac + (gpuBase-idleFrac)*powCap
 			for g := range fracs {
 				if g < in.ActiveGPUs() {
 					fracs[g] = eff
@@ -341,75 +317,53 @@ func (r *runner) stepServers(wall time.Duration) {
 			}
 			loadFrac = in.BusyFrac * float64(in.ActiveGPUs()) / float64(spec.GPUsPerServer)
 		}
-		st.ServerLoadFrac[s.ID] = loadFrac
-	}
-	r.res.ServerTicks += len(st.DC.Servers)
-}
+		st.ServerLoadFrac[id] = loadFrac
 
-// thermalStep computes inlet and GPU temperatures, applies hardware thermal
-// throttling, and counts thermal events: a server-tick is thermally capped
-// when its GPUs throttle or its aisle's airflow is violated.
-func (r *runner) thermalStep() {
-	st := r.st
-	spec := st.Spec
-	idleFrac := r.idleFrac
-	maxTemp := 0.0
-	for _, s := range st.DC.Servers {
-		inlet := thermal.InletTemp(s, st.OutsideC, st.DCLoadFrac, st.AisleRecircC[s.Aisle])
-		st.ServerInletC[s.ID] = inlet
+		// Thermals: inlet and GPU temperatures with hardware throttling,
+		// evaluated as multiply-adds over the flat coefficient tables.
+		inlet := inletBase + co.InletOffsetC[id] + st.AisleRecircC[aisle]
+		st.ServerInletC[id] = inlet
 		throttled := false
-		fracs := st.GPUPowerFrac[s.ID]
 		for g := range fracs {
-			temp := thermal.GPUTemp(s, g, inlet, fracs[g])
-			if temp > spec.ThrottleTempC && fracs[g] > idleFrac {
+			temp := co.GPUTemp(base+g, inlet, fracs[g])
+			if temp > throttleC && fracs[g] > idleFrac {
 				throttled = true
-				allowed := thermal.MaxPowerFrac(s, g, inlet, spec.ThrottleTempC)
+				allowed := co.MaxPowerFrac(base+g, inlet, throttleC)
 				if allowed < idleFrac {
 					allowed = idleFrac // hardware cannot go below idle draw
 				}
 				if allowed < fracs[g] {
 					fracs[g] = allowed
-					temp = thermal.GPUTemp(s, g, inlet, fracs[g])
+					temp = co.GPUTemp(base+g, inlet, fracs[g])
 				}
 			}
-			st.GPUTempC[s.ID][g] = temp
+			temps[g] = temp
 			if temp > maxTemp {
 				maxTemp = temp
 			}
 		}
-		r.throttledSrv[s.ID] = throttled
+		r.throttledSrv[id] = throttled
 		if throttled {
 			// The hardware clock-down slows next tick's work.
-			r.thermalCap[s.ID] = math.Max(0.3, r.thermalCap[s.ID]*0.85)
+			r.thermalCap[id] = math.Max(0.3, r.thermalCap[id]*0.85)
 		}
-		if throttled || r.aisleViolated[s.Aisle] {
+		if throttled || r.aisleViolated[aisle] {
 			r.res.ThermalThrottleSrvTicks++
 		}
-	}
-	r.res.MaxTempC = append(r.res.MaxTempC, maxTemp)
-}
 
-// powerStep computes server and row power, invokes the policy's capping
-// response for over-budget rows, and records the tick's peaks. A server-tick
-// counts as power-capped when its row exceeds its effective limit.
-func (r *runner) powerStep() {
-	st := r.st
-	spec := st.Spec
-	for row := range st.RowPowerW {
-		st.RowPowerW[row] = 0
-	}
-	total := 0.0
-	for _, s := range st.DC.Servers {
+		// Power: sum the (possibly throttled) GPU fractions into server, row
+		// and datacenter draw.
 		sum := 0.0
-		for _, f := range st.GPUPowerFrac[s.ID] {
+		for _, f := range fracs {
 			sum += f * spec.GPUTDPW
 		}
-		load := st.ServerLoadFrac[s.ID]
-		p := power.ServerPower(spec, sum, load, thermal.FanFrac(load))
-		st.ServerPowerW[s.ID] = p
-		st.RowPowerW[s.Row] += p
+		p := power.ServerPower(spec, sum, loadFrac, thermal.FanFrac(loadFrac))
+		st.ServerPowerW[id] = p
+		st.RowPowerW[row] += p
 		total += p
 	}
+	r.res.ServerTicks += n
+	r.res.MaxTempC = append(r.res.MaxTempC, maxTemp)
 	peak := 0.0
 	for row, draw := range st.RowPowerW {
 		limit := st.Budget.RowLimitW(row)
@@ -426,7 +380,7 @@ func (r *runner) powerStep() {
 	}
 	r.res.PeakRowPowerW = append(r.res.PeakRowPowerW, peak)
 	r.res.TotalPowerW = append(r.res.TotalPowerW, total)
-	r.prevDCLoad = total / (float64(len(st.DC.Servers)) * spec.ServerTDPW)
+	r.prevDCLoad = total / (float64(n) * spec.ServerTDPW)
 }
 
 // harvest folds a departing instance's cumulative service counters into the

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the figure/table benchmarks with -benchmem and records a dated JSON
+# baseline (BENCH_<yyyymmdd>.json) at the repo root, so the performance
+# trajectory is tracked across PRs.
+#
+# Usage:
+#   scripts/bench.sh                # default 2 iterations per benchmark
+#   BENCHTIME=5x scripts/bench.sh   # more iterations for steadier numbers
+#   BENCH_FILTER='Fig2.' scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2x}"
+filter="${BENCH_FILTER:-Table1|Fig[0-9]+|Table2|EngineTick|CompileScenario|CompiledScenarioRun}"
+out="BENCH_$(date +%Y%m%d).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "^Benchmark(${filter})" -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", date, benchtime; n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
+    for (i = 4; i < NF; i++) {
+        if ($(i+1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
+        if ($(i+1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+    }
+    printf "}"
+}
+END { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out" >&2

@@ -79,7 +79,19 @@ func NewVariant(place, route, config bool) Policy {
 	return core.New(core.Options{Place: place, Route: route, Config: config})
 }
 
-// Run executes a scenario under a policy.
+// CompiledScenario holds a scenario's run-invariant artifacts (layout,
+// workload, weather, profiles, thermal tables, seeded history), built once by
+// Compile and shared read-only by any number of concurrent Runs.
+type CompiledScenario = sim.CompiledScenario
+
+// Compile builds a scenario's run-invariant artifacts once. Evaluating
+// several policies (or failure schedules, via Variant) over the same
+// scenario through the compiled object skips the per-run regeneration that
+// Run performs, with byte-identical results.
+func Compile(sc Scenario) (*CompiledScenario, error) { return sim.Compile(sc) }
+
+// Run executes a scenario under a policy, compiling it first; use Compile
+// plus CompiledScenario.Run to amortize compilation over many runs.
 func Run(sc Scenario, pol Policy) (*Result, error) { return sim.Run(sc, pol) }
 
 // LargeScenario returns the paper's large-scale setup: ~1000 A100 servers,
