@@ -5,29 +5,50 @@
 //
 //	tapas-sim -policy tapas -hours 24 -mix 0.5 -oversub 0.2
 //	tapas-sim -policy baseline -failure power -scale small
+//	tapas-sim -spec examples/scenarios/rolling-emergencies.json
+//
+// With -spec, the scenario comes from a declarative spec file (see
+// internal/scenario and cmd/tapas-campaign) and every policy listed in the
+// spec runs in order; -policy (when given explicitly) overrides the spec's
+// policy list. Specs that sweep axes need tapas-campaign.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	tapas "github.com/tapas-sim/tapas"
+	"github.com/tapas-sim/tapas/internal/scenario"
 )
 
 func main() {
 	var (
-		policy  = flag.String("policy", "tapas", "baseline | tapas | any of place,route,config (comma separated)")
-		scale   = flag.String("scale", "small", "small (80 servers) | large (~1000 servers)")
-		hours   = flag.Float64("hours", 1, "simulated duration in hours")
-		mix     = flag.Float64("mix", 0.5, "SaaS fraction of the workload (0–1)")
-		oversub = flag.Float64("oversub", 0, "oversubscription ratio (0.4 = +40% racks)")
-		failure = flag.String("failure", "", "inject emergency: power | cooling")
-		seed    = flag.Uint64("seed", 42, "deterministic seed")
+		policy   = flag.String("policy", "tapas", "baseline | tapas | any of place,route,config (comma separated)")
+		scale    = flag.String("scale", "small", "small (80 servers) | large (~1000 servers)")
+		hours    = flag.Float64("hours", 1, "simulated duration in hours")
+		mix      = flag.Float64("mix", 0.5, "SaaS fraction of the workload (0–1)")
+		oversub  = flag.Float64("oversub", 0, "oversubscription ratio (0.4 = +40% racks)")
+		failure  = flag.String("failure", "", "inject emergency: power | cooling")
+		seed     = flag.Uint64("seed", 42, "deterministic seed")
+		specPath = flag.String("spec", "", "run a declarative scenario spec file instead of the flag-built scenario")
 	)
 	flag.Parse()
+
+	if *specPath != "" {
+		// The spec fully describes the scenario; a scenario-shaping flag
+		// alongside it would be silently ignored, so reject the combination
+		// (-policy is the one deliberate override).
+		for _, name := range []string{"scale", "hours", "mix", "oversub", "failure", "seed"} {
+			if flagWasSet(name) {
+				fmt.Fprintf(os.Stderr, "tapas-sim: -%s conflicts with -spec (edit the spec file instead)\n", name)
+				os.Exit(2)
+			}
+		}
+		runSpec(*specPath, *policy, flagWasSet("policy"))
+		return
+	}
 
 	var sc tapas.Scenario
 	if *scale == "large" {
@@ -51,21 +72,65 @@ func main() {
 		os.Exit(2)
 	}
 
-	pol, err := parsePolicy(*policy)
+	pol, err := scenario.ParsePolicy(*policy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapas-sim:", err)
 		os.Exit(2)
 	}
 
 	start := time.Now()
-	res, err := tapas.Run(sc, pol)
+	res, err := tapas.Run(sc, pol.New())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tapas-sim:", err)
 		os.Exit(1)
 	}
+	printSummary(sc, res, time.Since(start))
+}
+
+// runSpec executes a single-point scenario spec under each of its policies,
+// compiling the scenario once and sharing it across the runs.
+func runSpec(path, policyFlag string, policySet bool) {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapas-sim:", err)
+		os.Exit(1)
+	}
+	if len(spec.Axes) > 0 {
+		fmt.Fprintf(os.Stderr, "tapas-sim: spec %q sweeps axes; run it with tapas-campaign\n", spec.Name)
+		os.Exit(2)
+	}
+	if policySet {
+		spec.Policies = []string{policyFlag}
+	}
+	c, err := spec.Campaign(0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapas-sim:", err)
+		os.Exit(1)
+	}
+	sc := c.Points[0].Scenario
+	cs, err := tapas.Compile(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapas-sim:", err)
+		os.Exit(1)
+	}
+	for i, pol := range c.Policies {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		res, err := cs.Run(pol.New())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapas-sim:", err)
+			os.Exit(1)
+		}
+		printSummary(sc, res, time.Since(start))
+	}
+}
+
+func printSummary(sc tapas.Scenario, res *tapas.Result, wall time.Duration) {
 	fmt.Printf("policy            %s\n", res.Policy)
 	fmt.Printf("simulated         %v at %v ticks (%d ticks, wall %v)\n",
-		sc.Duration, res.Tick, res.Ticks, time.Since(start).Round(time.Millisecond))
+		sc.Duration, res.Tick, res.Ticks, wall.Round(time.Millisecond))
 	fmt.Printf("max GPU temp      %.1f °C (P99 %.1f)\n", res.MaxTemp(), res.PercentileMaxTemp(99))
 	fmt.Printf("peak row power    %.1f kW (P99 %.1f)\n", res.PeakPower()/1000, res.PercentilePeakPower(99)/1000)
 	fmt.Printf("thermal capping   %.2f%% of server-time\n", res.ThrottleFrac()*100)
@@ -75,25 +140,12 @@ func main() {
 	fmt.Printf("IaaS perf loss    %.1f%%\n", res.IaaSPerfLoss()*100)
 }
 
-func parsePolicy(s string) (tapas.Policy, error) {
-	switch s {
-	case "baseline":
-		return tapas.NewBaseline(), nil
-	case "tapas":
-		return tapas.NewTAPAS(), nil
-	}
-	var place, route, config bool
-	for _, part := range strings.Split(s, ",") {
-		switch strings.TrimSpace(part) {
-		case "place":
-			place = true
-		case "route":
-			route = true
-		case "config":
-			config = true
-		default:
-			return nil, fmt.Errorf("unknown policy component %q", part)
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
 		}
-	}
-	return tapas.NewVariant(place, route, config), nil
+	})
+	return set
 }

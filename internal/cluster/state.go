@@ -34,12 +34,23 @@ const HistoryMaxSamples = 4 * 7 * 24 * 6
 
 // State is the live cluster.
 type State struct {
-	DC      *layout.Datacenter
+	DC *layout.Datacenter
+	// Spec is the base hardware generation (Config.GPU). Heterogeneous
+	// fleets carry per-server specs; use ServerGPUSpec/ProfileFor for
+	// anything that differs across generations (TDP, idle power, serving
+	// profile). The thermal throttle threshold is uniform across supported
+	// generations, so policies may read Spec.ThrottleTempC directly.
 	Spec    layout.GPUSpec
 	Work    *trace.Workload
 	Profile *llm.Profile
 	SLOs    llm.SLOs
 	Budget  *power.Budget
+
+	// modelProfiles maps a GPU generation to its serving profile; uniform
+	// fleets point every present generation at Profile. srvModel is the
+	// per-server generation index behind ServerGPUSpec/ProfileFor.
+	modelProfiles [layout.GPUModelCount]*llm.Profile
+	srvModel      []uint8
 
 	VMs      []*VM
 	ServerVM []int // server → VM index, or -1
@@ -143,6 +154,11 @@ func NewStateFrom(dc *layout.Datacenter, w *trace.Workload, profile *llm.Profile
 		st.ServerVM[i] = -1
 		st.ServerFreqCap[i] = 1
 	}
+	st.srvModel = make([]uint8, n)
+	for i, srv := range dc.Servers {
+		st.srvModel[i] = uint8(srv.GPU.Model)
+	}
+	st.modelProfiles[spec.Model] = profile
 	for r := range st.RowPowerHist {
 		st.RowPowerHist[r] = ring.New(HistoryMaxSamples)
 	}
@@ -183,7 +199,7 @@ func (st *State) Place(vmID, serverID int) error {
 	if vm.Spec.Kind == trace.SaaS {
 		st.rowSaaS[row]++
 		ep := st.Work.Endpoints[vm.Spec.Endpoint]
-		vm.Instance = llm.NewInstance(st.Spec, llm.DefaultConfig(), ep.Work, st.SLOs)
+		vm.Instance = llm.NewInstance(st.DC.Servers[serverID].GPU, llm.DefaultConfig(), ep.Work, st.SLOs)
 		st.indexEndpointVM(vm)
 	} else {
 		st.rowIaaS[row]++
@@ -272,6 +288,21 @@ func (st *State) EndpointInstances(endpoint int) []*VM {
 		return nil
 	}
 	return st.epInstances[endpoint]
+}
+
+// SetModelProfile installs the serving profile of a non-base GPU generation
+// (heterogeneous fleets). Must be called before the run starts.
+func (st *State) SetModelProfile(m layout.GPUModel, p *llm.Profile) {
+	st.modelProfiles[m] = p
+}
+
+// ProfileFor returns the serving profile matching a server's GPU generation;
+// uniform fleets always return Profile.
+func (st *State) ProfileFor(server int) *llm.Profile {
+	if p := st.modelProfiles[st.srvModel[server]]; p != nil {
+		return p
+	}
+	return st.Profile
 }
 
 // GPUFracs returns the per-GPU power fractions of one server as a subslice

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
@@ -70,6 +71,7 @@ type placeCandidate struct {
 	server   int
 	predTemp float64
 	row      int
+	model    layout.GPUModel
 }
 
 // tempMargin keeps predicted GPU temperature this far below the throttle
@@ -78,10 +80,18 @@ const tempMargin = 2.0
 
 func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 	estLoad := st.EstimateVMPeakLoad(vm.Spec)
-	newPeakW := a.prof.Power.Predict(estLoad)
-	newPeakCFM := a.prof.Airflow.Predict(estLoad)
-	idleW := a.prof.Power.Predict(0)
-	idleCFM := a.prof.Airflow.Predict(0)
+	// Per-generation projections: a candidate VM draws (and blows) more on
+	// an H100 server than on an A100 one, so the validator evaluates the
+	// placement with the models of each candidate's generation. Uniform
+	// fleets index one fit everywhere.
+	var newPeakWBy, newPeakCFMBy, idleWBy, idleCFMBy [layout.GPUModelCount]float64
+	for m := range newPeakWBy {
+		gm := layout.GPUModel(m)
+		newPeakWBy[m] = a.prof.PowerFor(gm).Predict(estLoad)
+		newPeakCFMBy[m] = a.prof.AirflowFor(gm).Predict(estLoad)
+		idleWBy[m] = a.prof.PowerFor(gm).Predict(0)
+		idleCFMBy[m] = a.prof.AirflowFor(gm).Predict(0)
+	}
 	a.refreshRowTemplates(st)
 
 	// Validator: predicted peak power per row / airflow per aisle with the
@@ -103,8 +113,8 @@ func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 		if vmID := st.ServerVM[srv.ID]; vmID != -1 {
 			load = st.EstimateVMPeakLoad(st.VMs[vmID].Spec)
 		}
-		rowPeakW[srv.Row] += a.prof.Power.Predict(load)
-		aislePeakCFM[srv.Aisle] += a.prof.Airflow.Predict(load)
+		rowPeakW[srv.Row] += a.prof.PowerFor(srv.GPU.Model).Predict(load)
+		aislePeakCFM[srv.Aisle] += a.prof.AirflowFor(srv.GPU.Model).Predict(load)
 	}
 	// Once a row has a week of telemetry, its observed template peak floors
 	// the model projection: rows whose history already shows draw near the
@@ -125,10 +135,11 @@ func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 	cands := a.cands[:0]
 	for _, id := range st.FreeServers() {
 		srv := st.DC.Servers[id]
-		if rowPeakW[srv.Row]-idleW+newPeakW > st.DC.Rows[srv.Row].ProvPowerW {
+		m := srv.GPU.Model
+		if rowPeakW[srv.Row]-idleWBy[m]+newPeakWBy[m] > st.DC.Rows[srv.Row].ProvPowerW {
 			continue
 		}
-		if aislePeakCFM[srv.Aisle]-idleCFM+newPeakCFM > st.DC.Aisles[srv.Aisle].ProvAirflowCFM {
+		if aislePeakCFM[srv.Aisle]-idleCFMBy[m]+newPeakCFMBy[m] > st.DC.Aisles[srv.Aisle].ProvAirflowCFM {
 			continue
 		}
 		inlet := a.prof.Inlet.Predict(id, refOutside, 0.8)
@@ -138,7 +149,7 @@ func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 				temp = t
 			}
 		}
-		cands = append(cands, placeCandidate{server: id, predTemp: temp, row: srv.Row})
+		cands = append(cands, placeCandidate{server: id, predTemp: temp, row: srv.Row, model: m})
 	}
 	a.cands = cands // keep the grown buffer for the next placement
 	if len(cands) == 0 {
@@ -176,7 +187,7 @@ func (a *allocator) place(st *cluster.State, vm *cluster.VM) (int, bool) {
 		// Power preference: avoid concentrating synchronous peaks — prefer
 		// rows whose predicted post-placement peak stays low (Insight #3:
 		// placement relieves hotspots and smooths power spikes).
-		peakFrac := (rowPeakW[c.row] - idleW + newPeakW) / st.DC.Rows[c.row].ProvPowerW
+		peakFrac := (rowPeakW[c.row] - idleWBy[c.model] + newPeakWBy[c.model]) / st.DC.Rows[c.row].ProvPowerW
 		var powScore int
 		switch {
 		case peakFrac <= 0.75:

@@ -79,7 +79,6 @@ func (c *configurator) configure(st *cluster.State) {
 	}
 	aisleScale := c.aisleScale
 	aisleFairW := c.aisleFairW
-	idleW := c.prof.Power.Predict(0)
 	for a := range aisleScale {
 		aisleScale[a] = 1
 		target := st.AisleLimitCFM(a) * budgetTarget
@@ -88,14 +87,19 @@ func (c *configurator) configure(st *cluster.State) {
 		}
 		// The server power that, fleet-wide in this aisle, would keep fan
 		// airflow at the provisioned target — the aisle analogue of the
-		// row fair share.
-		n := float64(len(st.DC.Aisles[a].Servers()))
+		// row fair share. Aisles are homogeneous per hardware generation,
+		// so the aisle's own airflow/power fits apply throughout it.
+		servers := st.DC.Aisles[a].Servers()
+		model := servers[0].GPU.Model
+		af := c.prof.AirflowFor(model)
+		idleW := c.prof.PowerFor(model).Predict(0)
+		n := float64(len(servers))
 		perServerCFM := target / n
-		heatFrac := (perServerCFM - c.prof.Airflow.IdleCFM) / (c.prof.Airflow.MaxCFM - c.prof.Airflow.IdleCFM)
+		heatFrac := (perServerCFM - af.IdleCFM) / (af.MaxCFM - af.IdleCFM)
 		if heatFrac < 0 {
 			heatFrac = 0
 		}
-		aisleFairW[a] = idleW + heatFrac*(st.Spec.ServerTDPW-idleW)
+		aisleFairW[a] = idleW + heatFrac*(servers[0].GPU.ServerTDPW-idleW)
 	}
 
 	tickSecs := st.Tick.Seconds()
@@ -124,7 +128,7 @@ func (c *configurator) configure(st *cluster.State) {
 		// slack; proportional squeeze otherwise — but never below the
 		// server's fair share of the row target, or already-frugal
 		// instances would ratchet down and never recover.
-		maxServerW := st.Spec.ServerTDPW
+		maxServerW := srv.GPU.ServerTDPW
 		if scale < 1 {
 			maxServerW = st.ServerPowerW[vm.Server] * scale
 			fairShare := st.Budget.RowLimitW(srv.Row) * budgetTarget / float64(len(st.DC.Rows[srv.Row].Servers))
@@ -166,7 +170,7 @@ func (c *configurator) configure(st *cluster.State) {
 				reloadOK = false
 			}
 		}
-		entry, ok := c.pick(st.Profile, in.Config, maxFrac, maxServerW, qualityFloor, required, reloadOK)
+		entry, ok := c.pick(st.ProfileFor(vm.Server), in.Config, maxFrac, maxServerW, qualityFloor, required, reloadOK)
 		if !ok || entry.Config == in.Config {
 			continue
 		}

@@ -23,7 +23,19 @@ type Profiles struct {
 	GPUTemp *thermal.GPUTempModel
 	Airflow thermal.AirflowModel
 	Power   power.Model
+
+	// Per-generation airflow/power fits for heterogeneous fleets,
+	// dense-indexed by layout.GPUModel. Absent generations alias the base
+	// fit, so uniform fleets behave exactly as before.
+	airflowBy [layout.GPUModelCount]thermal.AirflowModel
+	powerBy   [layout.GPUModelCount]power.Model
 }
+
+// AirflowFor returns the fitted airflow curve of a GPU generation.
+func (p *Profiles) AirflowFor(m layout.GPUModel) *thermal.AirflowModel { return &p.airflowBy[m] }
+
+// PowerFor returns the fitted server power polynomial of a GPU generation.
+func (p *Profiles) PowerFor(m layout.GPUModel) power.Model { return p.powerBy[m] }
 
 // BuildProfiles runs the offline profiling phase against a datacenter: it
 // evaluates the physics over a grid of operating conditions — the benchmarks
@@ -72,6 +84,40 @@ func BuildProfiles(dc *layout.Datacenter) (*Profiles, error) {
 		return nil, fmt.Errorf("core: profiling GPU temp model: %w", err)
 	}
 
+	// Airflow curve and server power polynomial, fitted per hardware
+	// generation present in the fleet (heterogeneous fleets run the
+	// deployment benchmarks once per generation).
+	airflowModel, powerModel, err := fitServerModels(spec)
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profiles{
+		Inlet:   inletModel,
+		GPUTemp: gpuModel,
+		Airflow: airflowModel,
+		Power:   powerModel,
+	}
+	for m := range prof.airflowBy {
+		prof.airflowBy[m] = airflowModel
+		prof.powerBy[m] = powerModel
+	}
+	for _, m := range dc.Models() {
+		if m == spec.Model {
+			continue
+		}
+		af, pw, err := fitServerModels(layout.Spec(m))
+		if err != nil {
+			return nil, err
+		}
+		prof.airflowBy[m] = af
+		prof.powerBy[m] = pw
+	}
+	return prof, nil
+}
+
+// fitServerModels fits one generation's airflow curve and power polynomial
+// from its deployment measurements.
+func fitServerModels(spec layout.GPUSpec) (thermal.AirflowModel, power.Model, error) {
 	// Airflow: idle, full, and intermediate fan measurements (§2.1).
 	afLoads := []float64{0, 0.25, 0.5, 0.75, 1}
 	afFlows := make([]float64, len(afLoads))
@@ -80,7 +126,7 @@ func BuildProfiles(dc *layout.Datacenter) (*Profiles, error) {
 	}
 	airflowModel, err := thermal.FitAirflowModel(afLoads, afFlows)
 	if err != nil {
-		return nil, fmt.Errorf("core: profiling airflow model: %w", err)
+		return thermal.AirflowModel{}, power.Model{}, fmt.Errorf("core: profiling airflow model: %w", err)
 	}
 
 	// Server power polynomial over load.
@@ -91,15 +137,9 @@ func BuildProfiles(dc *layout.Datacenter) (*Profiles, error) {
 	}
 	powerModel, err := power.FitModel(pLoads, pPowers)
 	if err != nil {
-		return nil, fmt.Errorf("core: profiling power model: %w", err)
+		return thermal.AirflowModel{}, power.Model{}, fmt.Errorf("core: profiling power model: %w", err)
 	}
-
-	return &Profiles{
-		Inlet:   inletModel,
-		GPUTemp: gpuModel,
-		Airflow: airflowModel,
-		Power:   powerModel,
-	}, nil
+	return airflowModel, powerModel, nil
 }
 
 // profilesKey identifies a datacenter's content: generation is deterministic

@@ -69,7 +69,7 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 		}
 		tempUse := maxTemp / (throttleC - 2)
 		head := headroomOf(rowUse, aisleUse, tempUse)
-		entry, ok := st.Profile.Entry(in.Config)
+		entry, ok := st.ProfileFor(vm.Server).Entry(in.Config)
 		capTokens := 0.0
 		if ok {
 			capTokens = entry.Goodput * tickSecs

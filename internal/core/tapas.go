@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
 
@@ -201,7 +202,10 @@ func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
 	if shedW <= 0 {
 		return
 	}
-	idleW := t.prof.Power.Predict(0)
+	var idleWBy [layout.GPUModelCount]float64
+	for m := range idleWBy {
+		idleWBy[m] = t.prof.PowerFor(layout.GPUModel(m)).Predict(0)
+	}
 	iaas, saas := t.capIaaS[:0], t.capSaaS[:0]
 	iaasDynW := 0.0
 	for _, id := range ids {
@@ -211,7 +215,7 @@ func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
 		}
 		if st.VMs[vmID].Spec.Kind == trace.IaaS {
 			iaas = append(iaas, id)
-			if d := st.ServerPowerW[id] - idleW; d > 0 {
+			if d := st.ServerPowerW[id] - idleWBy[st.DC.Servers[id].GPU.Model]; d > 0 {
 				iaasDynW += d
 			}
 		} else {
@@ -245,7 +249,7 @@ func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
 	// Residual shed falls on SaaS servers.
 	saasDynW := 0.0
 	for _, id := range saas {
-		if d := st.ServerPowerW[id] - idleW; d > 0 {
+		if d := st.ServerPowerW[id] - idleWBy[st.DC.Servers[id].GPU.Model]; d > 0 {
 			saasDynW += d
 		}
 	}

@@ -113,34 +113,76 @@ func Lookup(id string) (Spec, bool) {
 
 // --- shared scenario builders -------------------------------------------
 
+// scaleAisles is the one aisle-scaling rule (round to nearest, floor 2)
+// shared by scaledLayout and ScaleLarge.
+func scaleAisles(aisles int, scale float64) int {
+	n := int(float64(aisles)*scale + 0.5)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // scaledLayout returns the large-cluster layout scaled toward paper size.
 func scaledLayout(p Params) layout.Config {
 	lc := layout.DefaultConfig()
-	aisles := int(float64(lc.Aisles)*p.Scale + 0.5)
-	if aisles < 2 {
-		aisles = 2
-	}
-	lc.Aisles = aisles
+	lc.Aisles = scaleAisles(lc.Aisles, p.Scale)
 	lc.Seed = p.Seed
 	return lc
+}
+
+// ScaleLarge applies the quick-run scaling rules of the large preset in
+// place: aisle count and duration shrink proportionally, and sub-half-scale
+// runs shift to the 9 h diurnal-peak start offset unless the caller pinned
+// an offset explicitly. The 6 h duration floor guards the preset's paper
+// week; a caller-chosen duration (explicitDuration) scales with only a
+// 5-minute floor so short campaigns stay short. Shared with the
+// scenario-spec pipeline so spec campaigns reproduce the runners'
+// scenarios exactly.
+func ScaleLarge(sc *sim.Scenario, scale float64, explicitOffset, explicitDuration bool) {
+	sc.Layout.Aisles = scaleAisles(sc.Layout.Aisles, scale)
+	floor := 6 * time.Hour
+	if explicitDuration {
+		floor = 5 * time.Minute
+	}
+	dur := time.Duration(float64(sc.Duration) * scale)
+	if dur < floor {
+		dur = floor
+	}
+	sc.Duration = dur
+	sc.Workload.Duration = dur
+	sc.Workload.Servers = sc.Layout.Aisles * 2 * sc.Layout.RacksPerRow * sc.Layout.ServersPerRack
+	if scale < 0.5 && !explicitOffset {
+		sc.StartOffset = 9 * time.Hour // short runs still cover the daily peak
+	}
+}
+
+// ScaleSmall applies the quick-run scaling rules of the small (real-cluster)
+// preset in place: sub-half-scale runs shorten to the 20-minute smoke
+// window, or — when the caller set a duration explicitly — scale it
+// proportionally with a 5-minute floor.
+func ScaleSmall(sc *sim.Scenario, scale float64, explicitDuration bool) {
+	if scale >= 0.5 {
+		return
+	}
+	d := 20 * time.Minute
+	if explicitDuration {
+		d = time.Duration(float64(sc.Duration) * scale)
+		if d < 5*time.Minute {
+			d = 5 * time.Minute
+		}
+	}
+	sc.Duration = d
+	sc.Workload.Duration = d
 }
 
 // scaledScenario returns the paper's large-scale evaluation scenario at the
 // requested scale.
 func scaledScenario(p Params) sim.Scenario {
 	sc := sim.DefaultScenario()
-	sc.Layout = scaledLayout(p)
-	dur := time.Duration(float64(7*24*time.Hour) * p.Scale)
-	if dur < 6*time.Hour {
-		dur = 6 * time.Hour
-	}
-	sc.Duration = dur
-	sc.Workload.Duration = dur
+	sc.Layout.Seed = p.Seed
 	sc.Workload.Seed = p.Seed
-	sc.Workload.Servers = sc.Layout.Aisles * 2 * sc.Layout.RacksPerRow * sc.Layout.ServersPerRack
-	if p.Scale < 0.5 {
-		sc.StartOffset = 9 * time.Hour // short runs still cover the daily peak
-	}
+	ScaleLarge(&sc, p.Scale, false, false)
 	return sc
 }
 
@@ -148,10 +190,7 @@ func scaledScenario(p Params) sim.Scenario {
 func smallScenario(p Params) sim.Scenario {
 	sc := sim.SmallScenario()
 	sc.Workload.Seed = p.Seed
-	if p.Scale < 0.5 {
-		sc.Duration = 20 * time.Minute
-		sc.Workload.Duration = sc.Duration
-	}
+	ScaleSmall(&sc, p.Scale, false)
 	return sc
 }
 

@@ -14,6 +14,15 @@ type Config struct {
 	ServersPerRack int
 	GPU            GPUModel
 	Seed           uint64
+	// MixGPU and MixFraction describe a heterogeneous fleet: the trailing
+	// MixFraction of aisles (rounded to whole aisles) are built from MixGPU
+	// servers instead of GPU. Hardware generations are homogeneous within an
+	// aisle — operators roll out new generations aisle-by-aisle, and each
+	// row's power envelope and each aisle's AHU provisioning are sized for
+	// the hardware they feed. MixFraction 0 (the default) is a uniform
+	// fleet.
+	MixGPU      GPUModel
+	MixFraction float64
 	// AirflowMargin and PowerMargin are the provisioning headroom over the
 	// nominal aggregate peak (airflow per aisle, power per row). Operators
 	// provision for peak load (§2.1, §2.2), so margins are small.
@@ -135,6 +144,45 @@ type Datacenter struct {
 	UPSes   []*UPS
 }
 
+// Models returns the distinct GPU models present in the fleet in GPUModel
+// order (the base model first for uniform fleets).
+func (dc *Datacenter) Models() []GPUModel {
+	var present [GPUModelCount]bool
+	for _, s := range dc.Servers {
+		present[s.GPU.Model] = true
+	}
+	var out []GPUModel
+	for m := GPUModel(0); m < GPUModelCount; m++ {
+		if present[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Heterogeneous reports whether the fleet mixes GPU generations.
+func (dc *Datacenter) Heterogeneous() bool { return len(dc.Models()) > 1 }
+
+// mixAisles returns how many trailing aisles are built from MixGPU.
+func (cfg Config) mixAisles() int {
+	if cfg.MixFraction <= 0 || cfg.MixGPU == cfg.GPU {
+		return 0
+	}
+	n := int(float64(cfg.Aisles)*cfg.MixFraction + 0.5)
+	if n > cfg.Aisles {
+		n = cfg.Aisles
+	}
+	return n
+}
+
+// aisleSpec returns the server spec an aisle is built from.
+func (cfg Config) aisleSpec(aisle int) GPUSpec {
+	if aisle >= cfg.Aisles-cfg.mixAisles() {
+		return Spec(cfg.MixGPU)
+	}
+	return Spec(cfg.GPU)
+}
+
 // NumUPS is the UPS group size for 4N/3 redundancy (§2.2).
 const NumUPS = 4
 
@@ -147,14 +195,20 @@ func New(cfg Config) (*Datacenter, error) {
 	if cfg.AirflowDesignLoad == 0 {
 		cfg.AirflowDesignLoad = 0.85
 	}
+	if cfg.MixFraction < 0 || cfg.MixFraction > 1 {
+		return nil, fmt.Errorf("layout: mix fraction %v out of [0,1]", cfg.MixFraction)
+	}
+	if cfg.mixAisles() > 0 && Spec(cfg.MixGPU).GPUsPerServer != Spec(cfg.GPU).GPUsPerServer {
+		return nil, fmt.Errorf("layout: mixed models %v and %v differ in GPUs per server", cfg.GPU, cfg.MixGPU)
+	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0x7a7a5))
-	spec := Spec(cfg.GPU)
 	dc := &Datacenter{Config: cfg}
 	for u := 0; u < NumUPS; u++ {
 		dc.UPSes = append(dc.UPSes, &UPS{ID: u})
 	}
 	serverID, rackID := 0, 0
 	for a := 0; a < cfg.Aisles; a++ {
+		spec := cfg.aisleSpec(a)
 		aisle := &Aisle{ID: a}
 		for r := 0; r < 2; r++ {
 			rowID := a*2 + r
@@ -236,10 +290,10 @@ func (dc *Datacenter) AddRacks(ratio float64) {
 		return
 	}
 	rng := rand.New(rand.NewPCG(dc.Config.Seed, 0x05e15))
-	spec := Spec(dc.Config.GPU)
 	serverID := len(dc.Servers)
 	rackID := len(dc.Racks)
 	for _, row := range dc.Rows {
+		spec := row.Servers[0].GPU // rows are homogeneous by construction
 		extra := int(float64(dc.Config.RacksPerRow) * ratio)
 		if extra == 0 {
 			extra = 1

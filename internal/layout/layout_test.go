@@ -288,3 +288,76 @@ func TestHeterogeneityBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMixedFleet checks per-aisle heterogeneous generation: the trailing
+// MixFraction of aisles carry MixGPU servers with matching power/airflow
+// provisioning, and MixFraction 0 reproduces the uniform fleet exactly.
+func TestMixedFleet(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Aisles = 4
+	cfg.MixGPU = H100
+	cfg.MixFraction = 0.5
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dc.Heterogeneous() {
+		t.Fatal("mixed config generated a homogeneous fleet")
+	}
+	models := dc.Models()
+	if len(models) != 2 || models[0] != A100 || models[1] != H100 {
+		t.Fatalf("Models() = %v, want [A100 H100]", models)
+	}
+	for _, srv := range dc.Servers {
+		want := A100
+		if srv.Aisle >= 2 {
+			want = H100
+		}
+		if srv.GPU.Model != want {
+			t.Fatalf("server %d in aisle %d has model %v, want %v", srv.ID, srv.Aisle, srv.GPU.Model, want)
+		}
+	}
+	// Envelopes are sized for the hardware they feed.
+	a100Row, h100Row := dc.Rows[0], dc.Rows[len(dc.Rows)-1]
+	if h100Row.ProvPowerW <= a100Row.ProvPowerW {
+		t.Errorf("H100 row provisioned at %.0f W, A100 at %.0f W; want H100 higher", h100Row.ProvPowerW, a100Row.ProvPowerW)
+	}
+	if dc.Aisles[3].ProvAirflowCFM <= dc.Aisles[0].ProvAirflowCFM {
+		t.Error("H100 aisle airflow not provisioned above A100 aisle")
+	}
+
+	// Zero mix fraction is byte-for-byte the uniform fleet.
+	uni, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := DefaultConfig()
+	cfg2.MixGPU = H100
+	cfg2.MixFraction = 0
+	mix0, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uni.Servers) != len(mix0.Servers) {
+		t.Fatal("server counts differ")
+	}
+	for i := range uni.Servers {
+		if uni.Servers[i].InletOffsetC != mix0.Servers[i].InletOffsetC ||
+			uni.Servers[i].GPU.Model != mix0.Servers[i].GPU.Model {
+			t.Fatalf("server %d differs between uniform and mix-0 fleets", i)
+		}
+	}
+}
+
+// TestMixedFleetValidation pins the config error paths.
+func TestMixedFleetValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MixFraction = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("mix fraction 1.5 accepted")
+	}
+	cfg.MixFraction = -0.1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative mix fraction accepted")
+	}
+}

@@ -19,7 +19,20 @@ const (
 	A100 GPUModel = iota
 	// H100 is an NVIDIA DGX H100 server (8×H100).
 	H100
+	// GPUModelCount bounds dense per-model tables.
+	GPUModelCount
 )
+
+// ParseGPUModel maps a model name ("A100", "H100") to its GPUModel.
+func ParseGPUModel(name string) (GPUModel, error) {
+	switch name {
+	case "A100", "a100":
+		return A100, nil
+	case "H100", "h100":
+		return H100, nil
+	}
+	return 0, fmt.Errorf("layout: unknown GPU model %q (known: A100, H100)", name)
+}
 
 func (m GPUModel) String() string {
 	switch m {

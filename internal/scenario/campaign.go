@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tapas-sim/tapas/internal/core"
+	"github.com/tapas-sim/tapas/internal/experiments"
+	"github.com/tapas-sim/tapas/internal/sim"
+)
+
+// Policy pairs a display name with a constructor; every run gets a fresh
+// policy instance (policies carry per-run mutable state).
+type Policy struct {
+	Name string
+	New  func() sim.Policy
+}
+
+// ParsePolicy maps a spec policy string to a constructor: "baseline",
+// "tapas", or a comma list of TAPAS levers ("place", "route", "config").
+func ParsePolicy(s string) (Policy, error) {
+	var opts core.Options
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "baseline":
+	case "tapas":
+		opts = core.Options{Place: true, Route: true, Config: true}
+	default:
+		for _, part := range strings.Split(s, ",") {
+			switch strings.ToLower(strings.TrimSpace(part)) {
+			case "place":
+				opts.Place = true
+			case "route":
+				opts.Route = true
+			case "config":
+				opts.Config = true
+			default:
+				return Policy{}, fmt.Errorf("unknown policy %q (want baseline, tapas, or a comma list of place/route/config)", s)
+			}
+		}
+	}
+	o := opts
+	return Policy{Name: core.New(o).Name(), New: func() sim.Policy { return core.New(o) }}, nil
+}
+
+// Campaign is an expanded spec: the grid of scenarios times the policy set.
+type Campaign struct {
+	Spec     *Spec
+	Points   []Point
+	Policies []Policy
+}
+
+// Runs returns the total number of simulations the campaign executes.
+func (c *Campaign) Runs() int { return len(c.Points) * len(c.Policies) }
+
+// RunOptions bounds a campaign execution.
+type RunOptions struct {
+	// Parallel bounds the worker pool (≤ 0 selects GOMAXPROCS). Reports are
+	// byte-identical across worker counts.
+	Parallel int
+}
+
+// Campaign expands the spec into its grid. scale overrides the spec's Scale
+// when positive (0 keeps the spec's, which itself defaults to paper scale).
+func (s *Spec) Campaign(scale float64) (*Campaign, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = s.Scale
+	}
+	base, err := s.baseScenario(scale)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: spec %q: %w", s.Name, err)
+	}
+	points, err := s.expand(base)
+	if err != nil {
+		return nil, err
+	}
+	var pols []Policy
+	for _, name := range s.policyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: spec %q: %w", s.Name, err)
+		}
+		pols = append(pols, p)
+	}
+	return &Campaign{Spec: s, Points: points, Policies: pols}, nil
+}
+
+// Prov is one grid point's provisioned envelope: the largest provisioned
+// row power of its layout and the GPU throttle threshold — the normalization
+// constants behind norm_peak_power / norm_max_temp.
+type Prov struct {
+	PowerW float64
+	TempC  float64
+}
+
+// Result is a completed campaign: one sim.Result per (policy, point), plus
+// the provisioned envelopes reports normalize against.
+type Result struct {
+	Campaign *Campaign
+	// Runs is indexed [policy][point], both in campaign order.
+	Runs [][]*sim.Result
+	// Prov holds each grid point's own envelopes; axes that change the
+	// layout (GPU generation, mix fraction, oversubscription) change them
+	// point to point, so norm_* metrics always divide by the envelopes of
+	// the layout they ran against.
+	Prov []Prov
+}
+
+// Run executes the campaign: each grid point's scenario compiles once
+// (sim.Compile) and all policies share the compiled artifacts read-only
+// across the worker pool, exactly like the hard-coded experiment grids. The
+// result is deterministic and independent of the worker count.
+func (c *Campaign) Run(opt RunOptions) (*Result, error) {
+	compiled, err := experiments.RunParallel(len(c.Points), opt.Parallel, func(_, pi int) (*sim.CompiledScenario, error) {
+		cs, err := sim.Compile(c.Points[pi].Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: spec %q: compiling point %d: %w", c.Spec.Name, pi, err)
+		}
+		return cs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	nPts := len(c.Points)
+	runs, err := experiments.RunParallel(len(c.Policies)*nPts, opt.Parallel, func(_, job int) (*sim.Result, error) {
+		pol := c.Policies[job/nPts]
+		res, err := compiled[job%nPts].Run(pol.New())
+		if err != nil {
+			return nil, fmt.Errorf("scenario: spec %q: running %s on point %d: %w", c.Spec.Name, pol.Name, job%nPts, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Campaign: c,
+		Runs:     make([][]*sim.Result, len(c.Policies)),
+		Prov:     make([]Prov, nPts),
+	}
+	for pi, cs := range compiled {
+		p := Prov{}
+		for _, row := range cs.DC.Rows {
+			if row.ProvPowerW > p.PowerW {
+				p.PowerW = row.ProvPowerW
+			}
+		}
+		for _, srv := range cs.DC.Servers {
+			if srv.GPU.ThrottleTempC > p.TempC {
+				p.TempC = srv.GPU.ThrottleTempC
+			}
+		}
+		out.Prov[pi] = p
+	}
+	for pi := range c.Policies {
+		out.Runs[pi] = runs[pi*nPts : (pi+1)*nPts]
+	}
+	return out, nil
+}

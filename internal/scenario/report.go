@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/tapas-sim/tapas/internal/sim"
+)
+
+// Metric is one report column derived from a run's result.
+type Metric struct {
+	ID   string
+	Desc string
+	// Fmt renders the value in text reports (grid cells and table columns).
+	Fmt string
+	// Eval derives the value from one run, with the grid point's own
+	// provisioned envelopes for the normalized metrics.
+	Eval func(r *sim.Result, prov Prov) float64
+}
+
+// metrics is the ordered registry of report columns.
+var metrics = []Metric{
+	{"norm_max_temp", "normalized max temperature", "%4.2f",
+		func(r *sim.Result, prov Prov) float64 { return r.MaxTemp() / prov.TempC }},
+	{"norm_peak_power", "normalized peak power", "%4.2f",
+		func(r *sim.Result, prov Prov) float64 { return r.PeakPower() / prov.PowerW }},
+	{"max_temp_c", "max GPU temperature (°C)", "%.1f",
+		func(r *sim.Result, _ Prov) float64 { return r.MaxTemp() }},
+	{"p99_temp_c", "P99 max GPU temperature (°C)", "%.1f",
+		func(r *sim.Result, _ Prov) float64 { return r.PercentileMaxTemp(99) }},
+	{"peak_power_kw", "peak row power (kW)", "%.1f",
+		func(r *sim.Result, _ Prov) float64 { return r.PeakPower() / 1000 }},
+	{"p99_peak_power_kw", "P99 peak row power (kW)", "%.1f",
+		func(r *sim.Result, _ Prov) float64 { return r.PercentilePeakPower(99) / 1000 }},
+	{"energy_mwh", "fleet energy (MWh)", "%.2f",
+		func(r *sim.Result, _ Prov) float64 {
+			sum := 0.0
+			for _, w := range r.TotalPowerW {
+				sum += w
+			}
+			return sum * r.Tick.Seconds() / 3.6e9
+		}},
+	{"throttle_pct", "thermal capping (% of server-time)", "%.2f",
+		func(r *sim.Result, _ Prov) float64 { return r.ThrottleFrac() * 100 }},
+	{"power_cap_pct", "power capping (% of server-time)", "%.2f",
+		func(r *sim.Result, _ Prov) float64 { return r.PowerCapFrac() * 100 }},
+	{"slo_violation_pct", "SaaS SLO violations (%)", "%.2f",
+		func(r *sim.Result, _ Prov) float64 { return r.SLOViolationRate() * 100 }},
+	{"quality", "SaaS response quality", "%.3f",
+		func(r *sim.Result, _ Prov) float64 { return r.AvgQuality() }},
+	{"service_rate", "SaaS service rate", "%.3f",
+		func(r *sim.Result, _ Prov) float64 { return r.ServiceRate() }},
+	{"iaas_perf_loss_pct", "IaaS performance loss (%)", "%.1f",
+		func(r *sim.Result, _ Prov) float64 { return r.IaaSPerfLoss() * 100 }},
+	{"placement_rejects", "placement rejections", "%.0f",
+		func(r *sim.Result, _ Prov) float64 { return float64(r.PlacementRejects) }},
+}
+
+func metricByID(id string) (Metric, bool) {
+	for _, m := range metrics {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// MetricIDs lists every report metric in registry order.
+func MetricIDs() []string {
+	out := make([]string, len(metrics))
+	for i, m := range metrics {
+		out[i] = m.ID
+	}
+	return out
+}
+
+func (out *Result) selectedMetrics() []Metric {
+	var ms []Metric
+	for _, id := range out.Campaign.Spec.metricIDs() {
+		m, _ := metricByID(id)
+		ms = append(ms, m)
+	}
+	return ms
+}
+
+// WriteTo renders the campaign report in the spec's format. Output is fully
+// deterministic: same spec, same bytes, regardless of worker count.
+func (out *Result) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	var err error
+	switch out.Campaign.Spec.Report.Format {
+	case "csv":
+		err = out.writeCSV(&sb)
+	case "json":
+		err = out.writeJSON(&sb)
+	default:
+		out.writeText(&sb)
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// writeText renders the human-readable report: a policy × axis grid when the
+// spec sweeps exactly one axis (the shape of the paper's ablation figures),
+// a flat table otherwise.
+func (out *Result) writeText(sb *strings.Builder) {
+	sp := out.Campaign.Spec
+	fmt.Fprintf(sb, "== %s: %s ==\n", sp.Name, out.title())
+	if len(sp.Axes) == 1 {
+		out.writeGrid(sb)
+	} else {
+		out.writeTable(sb)
+	}
+}
+
+func (out *Result) title() string {
+	if out.Campaign.Spec.Description != "" {
+		return out.Campaign.Spec.Description
+	}
+	return fmt.Sprintf("%d runs", out.Campaign.Runs())
+}
+
+// writeGrid renders policies × the single axis, one metric tuple per cell —
+// the exact row format of the paper's Fig. 20 ablation when the metrics are
+// the two normalized envelopes.
+func (out *Result) writeGrid(sb *strings.Builder) {
+	ms := out.selectedMetrics()
+	descs := make([]string, len(ms))
+	for i, m := range ms {
+		descs[i] = m.Desc
+	}
+	fmt.Fprintf(sb, "%s\n", strings.Join(descs, " / "))
+	header := fmt.Sprintf("%-14s", "policy")
+	for _, p := range out.Campaign.Points {
+		header += fmt.Sprintf(" %12s", p.Labels[0])
+	}
+	fmt.Fprintf(sb, "%s\n", header)
+	for pi, pol := range out.Campaign.Policies {
+		line := fmt.Sprintf("%-14s", pol.Name)
+		for xi := range out.Campaign.Points {
+			cells := make([]string, len(ms))
+			for mi, m := range ms {
+				cells[mi] = fmt.Sprintf(m.Fmt, m.Eval(out.Runs[pi][xi], out.Prov[xi]))
+			}
+			line += "  " + strings.Join(cells, "/")
+		}
+		fmt.Fprintf(sb, "%s\n", line)
+	}
+}
+
+// writeTable renders one line per run: axis labels, policy, metric columns.
+func (out *Result) writeTable(sb *strings.Builder) {
+	ms := out.selectedMetrics()
+	header := ""
+	for _, ax := range out.Campaign.Spec.Axes {
+		header += fmt.Sprintf("%-24s ", ax.Param)
+	}
+	header += fmt.Sprintf("%-14s", "policy")
+	for _, m := range ms {
+		header += fmt.Sprintf(" %18s", m.ID)
+	}
+	fmt.Fprintf(sb, "%s\n", header)
+	for pi, pol := range out.Campaign.Policies {
+		for xi, pt := range out.Campaign.Points {
+			line := ""
+			for _, l := range pt.Labels {
+				line += fmt.Sprintf("%-24s ", l)
+			}
+			line += fmt.Sprintf("%-14s", pol.Name)
+			for _, m := range ms {
+				line += fmt.Sprintf(" %18s", fmt.Sprintf(m.Fmt, m.Eval(out.Runs[pi][xi], out.Prov[xi])))
+			}
+			fmt.Fprintf(sb, "%s\n", line)
+		}
+	}
+}
+
+// writeCSV emits one row per run with full-precision metric values.
+func (out *Result) writeCSV(sb *strings.Builder) error {
+	ms := out.selectedMetrics()
+	cw := csv.NewWriter(sb)
+	header := []string{"spec"}
+	for _, ax := range out.Campaign.Spec.Axes {
+		header = append(header, ax.Param)
+	}
+	header = append(header, "policy")
+	for _, m := range ms {
+		header = append(header, m.ID)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for pi, pol := range out.Campaign.Policies {
+		for xi, pt := range out.Campaign.Points {
+			rec := []string{out.Campaign.Spec.Name}
+			rec = append(rec, pt.Labels...)
+			rec = append(rec, pol.Name)
+			for _, m := range ms {
+				rec = append(rec, strconv.FormatFloat(m.Eval(out.Runs[pi][xi], out.Prov[xi]), 'g', -1, 64))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// writeJSON emits the full structured report (metric maps marshal with
+// sorted keys, so output is deterministic).
+func (out *Result) writeJSON(sb *strings.Builder) error {
+	type jsonRun struct {
+		Policy  string             `json:"policy"`
+		Point   []string           `json:"point,omitempty"`
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	type jsonPoint struct {
+		Labels     []string `json:"labels,omitempty"`
+		ProvPowerW float64  `json:"prov_row_power_w"`
+		ProvTempC  float64  `json:"prov_throttle_temp_c"`
+	}
+	ms := out.selectedMetrics()
+	rep := struct {
+		Name        string      `json:"name"`
+		Description string      `json:"description,omitempty"`
+		Axes        []string    `json:"axes,omitempty"`
+		Policies    []string    `json:"policies"`
+		Points      []jsonPoint `json:"points"`
+		Runs        []jsonRun   `json:"runs"`
+	}{
+		Name:        out.Campaign.Spec.Name,
+		Description: out.Campaign.Spec.Description,
+	}
+	for _, ax := range out.Campaign.Spec.Axes {
+		rep.Axes = append(rep.Axes, ax.Param)
+	}
+	for xi, pt := range out.Campaign.Points {
+		rep.Points = append(rep.Points, jsonPoint{
+			Labels:     pt.Labels,
+			ProvPowerW: out.Prov[xi].PowerW,
+			ProvTempC:  out.Prov[xi].TempC,
+		})
+	}
+	for _, pol := range out.Campaign.Policies {
+		rep.Policies = append(rep.Policies, pol.Name)
+	}
+	for pi, pol := range out.Campaign.Policies {
+		for xi, pt := range out.Campaign.Points {
+			vals := make(map[string]float64, len(ms))
+			for _, m := range ms {
+				vals[m.ID] = m.Eval(out.Runs[pi][xi], out.Prov[xi])
+			}
+			rep.Runs = append(rep.Runs, jsonRun{Policy: pol.Name, Point: pt.Labels, Metrics: vals})
+		}
+	}
+	enc := json.NewEncoder(sb)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&rep)
+}

@@ -1,0 +1,521 @@
+// Package scenario implements declarative simulation scenarios: a JSON spec
+// format describing one simulation setup (layout scale and GPU mix, workload
+// mix, weather, oversubscription, emergency schedule, policy set) plus sweep
+// axes that expand the spec into a campaign grid. The campaign runner
+// compiles each unique scenario once (sim.Compile) and fans the runs out
+// across a bounded worker pool (experiments.RunParallel), emitting
+// deterministic text/CSV/JSON reports.
+//
+// Specs make every "what-if" campaign of the paper's evaluation — and many
+// the hard-coded experiment runners cannot express (heterogeneous A100+H100
+// fleets, weather sweeps, rolling emergencies) — a committed file instead of
+// a new runner. See examples/scenarios/.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/experiments"
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/sim"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// Duration is a time.Duration that unmarshals from Go duration strings
+// ("20h9m36s", "1m").
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"24h\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("invalid duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// LayoutSpec selects and overrides a datacenter layout. Absent fields keep
+// the preset's values.
+type LayoutSpec struct {
+	// Preset is "large" (the paper's ~1000-server cluster) or "small" (the
+	// 80-server real-cluster testbed). Default "large".
+	Preset         string   `json:"preset,omitempty"`
+	Aisles         *int     `json:"aisles,omitempty"`
+	RacksPerRow    *int     `json:"racks_per_row,omitempty"`
+	ServersPerRack *int     `json:"servers_per_rack,omitempty"`
+	GPU            string   `json:"gpu,omitempty"`          // "A100" | "H100"
+	MixGPU         string   `json:"mix_gpu,omitempty"`      // heterogeneous fleets
+	MixFraction    *float64 `json:"mix_fraction,omitempty"` // fraction of aisles on MixGPU
+	Seed           *uint64  `json:"seed,omitempty"`
+}
+
+// WorkloadSpec overrides workload generation. Absent fields keep the
+// preset's values (50/50 mix, generator defaults for occupancy and demand).
+type WorkloadSpec struct {
+	SaaSFraction *float64 `json:"saas_fraction,omitempty"`
+	Endpoints    *int     `json:"endpoints,omitempty"`
+	Occupancy    *float64 `json:"occupancy,omitempty"`
+	DemandScale  *float64 `json:"demand_scale,omitempty"`
+	Seed         *uint64  `json:"seed,omitempty"`
+}
+
+// RegionSpec selects the deployment climate: either a preset name ("hot",
+// "temperate", "cool") or a full custom region object.
+type RegionSpec struct {
+	set    bool
+	region trace.Region
+}
+
+// UnmarshalJSON accepts "hot" | "temperate" | "cool" or a custom object
+// {"name", "mean_c", "seasonal_amp_c", "diurnal_amp_c", "noise_c"}.
+func (r *RegionSpec) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		reg, err := regionByName(name)
+		if err != nil {
+			return err
+		}
+		r.set, r.region = true, reg
+		return nil
+	}
+	var custom struct {
+		Name         string  `json:"name"`
+		MeanC        float64 `json:"mean_c"`
+		SeasonalAmpC float64 `json:"seasonal_amp_c"`
+		DiurnalAmpC  float64 `json:"diurnal_amp_c"`
+		NoiseC       float64 `json:"noise_c"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&custom); err != nil {
+		return fmt.Errorf("region must be a preset name or a custom object: %w", err)
+	}
+	if custom.Name == "" {
+		custom.Name = "custom"
+	}
+	r.set = true
+	r.region = trace.Region{
+		Name:         custom.Name,
+		MeanC:        custom.MeanC,
+		SeasonalAmpC: custom.SeasonalAmpC,
+		DiurnalAmpC:  custom.DiurnalAmpC,
+		NoiseC:       custom.NoiseC,
+	}
+	return nil
+}
+
+func regionByName(name string) (trace.Region, error) {
+	switch strings.ToLower(name) {
+	case "hot":
+		return trace.RegionHot, nil
+	case "temperate":
+		return trace.RegionTemperate, nil
+	case "cool":
+		return trace.RegionCool, nil
+	}
+	return trace.Region{}, fmt.Errorf("unknown region %q (known: hot, temperate, cool)", name)
+}
+
+// FailureSpec schedules one cooling or power emergency window.
+type FailureSpec struct {
+	Kind     string   `json:"kind"` // "power" | "cooling"
+	At       Duration `json:"at"`
+	Duration Duration `json:"duration"`
+}
+
+func (f FailureSpec) event() (sim.FailureEvent, error) {
+	var kind sim.FailureKind
+	switch f.Kind {
+	case "power":
+		kind = sim.PowerFailure
+	case "cooling":
+		kind = sim.CoolingFailure
+	default:
+		return sim.FailureEvent{}, fmt.Errorf("unknown failure kind %q (known: power, cooling)", f.Kind)
+	}
+	if f.Duration <= 0 {
+		return sim.FailureEvent{}, fmt.Errorf("failure duration %v must be positive", time.Duration(f.Duration))
+	}
+	return sim.FailureEvent{Kind: kind, At: time.Duration(f.At), Duration: time.Duration(f.Duration)}, nil
+}
+
+// AxisSpec sweeps one parameter over a list of values; multiple axes expand
+// into their cartesian grid. Labels (optional) name the grid columns in
+// reports; they default to the formatted values.
+type AxisSpec struct {
+	Param  string      `json:"param"`
+	Values []AxisValue `json:"values"`
+	Labels []string    `json:"labels,omitempty"`
+}
+
+// AxisValue is one swept value: a JSON number or string.
+type AxisValue struct {
+	Num   float64
+	Str   string
+	IsNum bool
+}
+
+// UnmarshalJSON implements json.Unmarshaler. JSON null is rejected: both
+// unmarshal targets would accept it as a silent no-op and sweep an
+// unintended zero value.
+func (v *AxisValue) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		return fmt.Errorf("axis value must be a number or a string, not null")
+	}
+	if err := json.Unmarshal(b, &v.Num); err == nil {
+		v.IsNum = true
+		return nil
+	}
+	if err := json.Unmarshal(b, &v.Str); err == nil {
+		return nil
+	}
+	return fmt.Errorf("axis value %s must be a number or a string", b)
+}
+
+// Label formats the value for display when the axis declares no labels.
+func (v AxisValue) Label() string {
+	if v.IsNum {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return v.Str
+}
+
+func (v AxisValue) number(param string) (float64, error) {
+	if !v.IsNum {
+		return 0, fmt.Errorf("axis %q needs numeric values, got %q", param, v.Str)
+	}
+	return v.Num, nil
+}
+
+func (v AxisValue) str(param string) (string, error) {
+	if v.IsNum {
+		return "", fmt.Errorf("axis %q needs string values, got %v", param, v.Num)
+	}
+	return v.Str, nil
+}
+
+// ReportSpec selects the output format and metric columns.
+type ReportSpec struct {
+	// Format is "text" (grid over a single axis, flat table otherwise),
+	// "csv", or "json". Default "text".
+	Format string `json:"format,omitempty"`
+	// Metrics are report columns; see Metrics() for the registry. Default
+	// ["norm_max_temp", "norm_peak_power"].
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// Spec is a declarative scenario specification, optionally swept into a
+// campaign grid by Axes. The zero spec (plus a name) is the paper's
+// large-scale week under Baseline and TAPAS.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Scale shrinks the preset toward quick runs exactly like the
+	// experiment runners' -scale: it scales aisle count and duration (large
+	// preset; floors of 2 aisles / 6 h) or shortens the run to 20 minutes
+	// (small preset, scale < 0.5). 0 means 1.0 (paper scale).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives every deterministic generator; layout/workload seeds
+	// override it individually. Default 42.
+	Seed *uint64 `json:"seed,omitempty"`
+
+	Layout        LayoutSpec    `json:"layout,omitempty"`
+	Workload      WorkloadSpec  `json:"workload,omitempty"`
+	Region        RegionSpec    `json:"region,omitempty"`
+	Duration      *Duration     `json:"duration,omitempty"`
+	Tick          *Duration     `json:"tick,omitempty"`
+	StartOffset   *Duration     `json:"start_offset,omitempty"`
+	Oversubscribe *float64      `json:"oversubscribe,omitempty"`
+	Failures      []FailureSpec `json:"failures,omitempty"`
+
+	// Policies are evaluated on every grid point: "baseline", "tapas", or a
+	// comma list of levers ("place,route"). Default ["baseline", "tapas"].
+	Policies []string   `json:"policies,omitempty"`
+	Axes     []AxisSpec `json:"axes,omitempty"`
+	Report   ReportSpec `json:"report,omitempty"`
+}
+
+// Parse decodes and validates a spec. Unknown fields are rejected, so typos
+// in committed spec files fail loudly instead of silently reverting to
+// defaults.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	// Reject trailing content (e.g. a botched merge duplicating the
+	// object) — only whitespace may follow the spec.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: parsing spec: trailing content after the spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the spec without building anything expensive.
+func (s *Spec) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("scenario: spec %q: %s", s.Name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	if s.Scale < 0 {
+		return fail("negative scale %v", s.Scale)
+	}
+	switch s.Layout.Preset {
+	case "", "large", "small":
+	default:
+		return fail("unknown layout preset %q (known: large, small)", s.Layout.Preset)
+	}
+	if s.Layout.GPU != "" {
+		if _, err := layout.ParseGPUModel(s.Layout.GPU); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if s.Layout.MixGPU != "" {
+		if _, err := layout.ParseGPUModel(s.Layout.MixGPU); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if f := s.Layout.MixFraction; f != nil && (*f < 0 || *f > 1) {
+		return fail("layout.mix_fraction %v out of [0,1]", *f)
+	}
+	// A mix fraction without a distinct second generation would silently
+	// produce a uniform fleet; require an explicit, different mix_gpu.
+	// Compare parsed models (with the preset's A100 default applied), not
+	// raw strings, so case variants and the implicit base cannot slip by.
+	mixSwept := false
+	for _, ax := range s.Axes {
+		if ax.Param == "layout.mix_fraction" {
+			mixSwept = true
+		}
+	}
+	if (mixSwept || (s.Layout.MixFraction != nil && *s.Layout.MixFraction > 0)) && s.Layout.MixGPU == "" {
+		return fail("layout.mix_fraction given without layout.mix_gpu")
+	}
+	if s.Layout.MixGPU != "" {
+		base := layout.A100 // both presets default to A100
+		if s.Layout.GPU != "" {
+			base, _ = layout.ParseGPUModel(s.Layout.GPU)
+		}
+		if mix, _ := layout.ParseGPUModel(s.Layout.MixGPU); mix == base {
+			return fail("layout.mix_gpu %q equals the base generation; a mixed fleet needs two generations", s.Layout.MixGPU)
+		}
+	}
+	if f := s.Workload.SaaSFraction; f != nil && (*f < 0 || *f > 1) {
+		return fail("workload.saas_fraction %v out of [0,1]", *f)
+	}
+	// The trace generator treats zero occupancy/demand/endpoints as "use
+	// the default", so an explicit zero would silently simulate something
+	// else entirely; reject non-positive values outright.
+	if f := s.Workload.Occupancy; f != nil && (*f <= 0 || *f > 1) {
+		return fail("workload.occupancy %v out of (0,1]", *f)
+	}
+	if f := s.Workload.DemandScale; f != nil && *f <= 0 {
+		return fail("workload.demand_scale %v must be positive", *f)
+	}
+	if n := s.Workload.Endpoints; n != nil && *n < 1 {
+		return fail("workload.endpoints %d must be at least 1", *n)
+	}
+	if s.Duration != nil && *s.Duration <= 0 {
+		return fail("non-positive duration %v", time.Duration(*s.Duration))
+	}
+	if s.Tick != nil && *s.Tick <= 0 {
+		return fail("non-positive tick %v", time.Duration(*s.Tick))
+	}
+	if o := s.Oversubscribe; o != nil && *o < 0 {
+		return fail("negative oversubscription %v", *o)
+	}
+	for _, f := range s.Failures {
+		if _, err := f.event(); err != nil {
+			return fail("%v", err)
+		}
+	}
+	for _, p := range s.policyNames() {
+		if _, err := ParsePolicy(p); err != nil {
+			return fail("%v", err)
+		}
+	}
+	seen := map[string]bool{}
+	for _, ax := range s.Axes {
+		if _, ok := axisSetters[ax.Param]; !ok {
+			return fail("unknown axis param %q (known: %s)", ax.Param, strings.Join(AxisParams(), ", "))
+		}
+		if seen[ax.Param] {
+			return fail("axis param %q swept twice", ax.Param)
+		}
+		seen[ax.Param] = true
+		if len(ax.Values) == 0 {
+			return fail("axis %q has no values", ax.Param)
+		}
+		if len(ax.Labels) > 0 && len(ax.Labels) != len(ax.Values) {
+			return fail("axis %q has %d labels for %d values", ax.Param, len(ax.Labels), len(ax.Values))
+		}
+	}
+	switch s.Report.Format {
+	case "", "text", "csv", "json":
+	default:
+		return fail("unknown report format %q (known: text, csv, json)", s.Report.Format)
+	}
+	for _, id := range s.metricIDs() {
+		if _, ok := metricByID(id); !ok {
+			return fail("unknown metric %q (known: %s)", id, strings.Join(MetricIDs(), ", "))
+		}
+	}
+	return nil
+}
+
+func (s *Spec) policyNames() []string {
+	if len(s.Policies) == 0 {
+		return []string{"baseline", "tapas"}
+	}
+	return s.Policies
+}
+
+func (s *Spec) metricIDs() []string {
+	if len(s.Report.Metrics) == 0 {
+		return []string{"norm_max_temp", "norm_peak_power"}
+	}
+	return s.Report.Metrics
+}
+
+// baseScenario materializes the un-swept sim.Scenario: preset, overrides,
+// then scaling — the same pipeline the experiment runners use, so a spec of
+// an existing figure reproduces it byte-identically.
+func (s *Spec) baseScenario(scale float64) (sim.Scenario, error) {
+	small := s.Layout.Preset == "small"
+	var sc sim.Scenario
+	if small {
+		sc = sim.SmallScenario()
+	} else {
+		sc = sim.DefaultScenario()
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+
+	seed := uint64(42)
+	if s.Seed != nil {
+		seed = *s.Seed
+	}
+	sc.Layout.Seed = seed
+	sc.Workload.Seed = seed
+
+	// Layout overrides.
+	lo := s.Layout
+	if lo.Aisles != nil {
+		sc.Layout.Aisles = *lo.Aisles
+	}
+	if lo.RacksPerRow != nil {
+		sc.Layout.RacksPerRow = *lo.RacksPerRow
+	}
+	if lo.ServersPerRack != nil {
+		sc.Layout.ServersPerRack = *lo.ServersPerRack
+	}
+	if lo.GPU != "" {
+		m, err := layout.ParseGPUModel(lo.GPU)
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+		sc.Layout.GPU = m
+	}
+	if lo.MixGPU != "" {
+		m, err := layout.ParseGPUModel(lo.MixGPU)
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+		sc.Layout.MixGPU = m
+	}
+	if lo.MixFraction != nil {
+		sc.Layout.MixFraction = *lo.MixFraction
+	}
+	if lo.Seed != nil {
+		sc.Layout.Seed = *lo.Seed
+	}
+
+	// Workload overrides.
+	wo := s.Workload
+	if wo.SaaSFraction != nil {
+		sc.Workload.SaaSFraction = *wo.SaaSFraction
+	}
+	if wo.Endpoints != nil {
+		sc.Workload.Endpoints = *wo.Endpoints
+	}
+	if wo.Occupancy != nil {
+		sc.Workload.Occupancy = *wo.Occupancy
+	}
+	if wo.DemandScale != nil {
+		sc.Workload.DemandScale = *wo.DemandScale
+	}
+	if wo.Seed != nil {
+		sc.Workload.Seed = *wo.Seed
+	}
+
+	if s.Region.set {
+		sc.Region = s.Region.region
+	}
+	if s.Duration != nil {
+		sc.Duration = time.Duration(*s.Duration)
+	}
+	if s.Tick != nil {
+		sc.Tick = time.Duration(*s.Tick)
+	}
+	if s.StartOffset != nil {
+		sc.StartOffset = time.Duration(*s.StartOffset)
+	}
+	if s.Oversubscribe != nil {
+		sc.Oversubscribe = *s.Oversubscribe
+	}
+	for _, f := range s.Failures {
+		ev, err := f.event()
+		if err != nil {
+			return sim.Scenario{}, err
+		}
+		sc.Failures = append(sc.Failures, ev)
+	}
+
+	// Scaling: the exact rules the experiment runners apply (shared
+	// helpers), so a spec of an existing figure reproduces it
+	// byte-identically.
+	if small {
+		experiments.ScaleSmall(&sc, scale, s.Duration != nil)
+	} else {
+		experiments.ScaleLarge(&sc, scale, s.StartOffset != nil, s.Duration != nil)
+	}
+	sc.Workload.Duration = sc.Duration
+	return sc, nil
+}

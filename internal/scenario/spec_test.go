@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+// TestParseAndValidateErrors pins the error surface of the spec loader:
+// typos and invalid values in committed spec files must fail loudly with a
+// message naming the problem.
+func TestParseAndValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error
+	}{
+		{"empty name", `{}`, "no name"},
+		{"unknown field", `{"name":"x","oversubscribed":0.4}`, "unknown field"},
+		{"bad duration", `{"name":"x","duration":"three hours"}`, "invalid duration"},
+		{"numeric duration", `{"name":"x","duration":7}`, "duration must be a string"},
+		{"negative tick", `{"name":"x","tick":"-1m"}`, "non-positive tick"},
+		{"bad preset", `{"name":"x","layout":{"preset":"medium"}}`, "unknown layout preset"},
+		{"bad gpu", `{"name":"x","layout":{"gpu":"B200"}}`, "unknown GPU model"},
+		{"bad mix fraction", `{"name":"x","layout":{"mix_gpu":"H100","mix_fraction":1.5}}`, "out of [0,1]"},
+		{"mix fraction without mix gpu", `{"name":"x","layout":{"mix_fraction":0.5}}`, "without layout.mix_gpu"},
+		{"mix axis without mix gpu", `{"name":"x","axes":[{"param":"layout.mix_fraction","values":[0,0.5]}]}`, "without layout.mix_gpu"},
+		{"mix gpu equals gpu", `{"name":"x","layout":{"gpu":"H100","mix_gpu":"H100","mix_fraction":0.5}}`, "needs two generations"},
+		{"mix gpu equals implicit base", `{"name":"x","layout":{"mix_gpu":"A100","mix_fraction":0.5}}`, "needs two generations"},
+		{"mix gpu equals gpu case-insensitively", `{"name":"x","layout":{"gpu":"h100","mix_gpu":"H100","mix_fraction":0.5}}`, "needs two generations"},
+		{"null axis value", `{"name":"x","axes":[{"param":"oversubscribe","values":[0.2,null]}]}`, "not null"},
+		{"zero occupancy", `{"name":"x","workload":{"occupancy":0}}`, "out of (0,1]"},
+		{"negative occupancy", `{"name":"x","workload":{"occupancy":-0.5}}`, "out of (0,1]"},
+		{"zero demand scale", `{"name":"x","workload":{"demand_scale":0}}`, "must be positive"},
+		{"zero endpoints", `{"name":"x","workload":{"endpoints":0}}`, "at least 1"},
+		{"trailing content", `{"name":"x"} {"policies":["nonsense"]}`, "trailing content"},
+		{"bad saas fraction", `{"name":"x","workload":{"saas_fraction":-0.1}}`, "out of [0,1]"},
+		{"bad region", `{"name":"x","region":"arctic"}`, "unknown region"},
+		{"bad region object", `{"name":"x","region":{"mean":30}}`, "region must be"},
+		{"bad failure kind", `{"name":"x","failures":[{"kind":"quake","at":"1h","duration":"1h"}]}`, "unknown failure kind"},
+		{"zero failure duration", `{"name":"x","failures":[{"kind":"power","at":"1h","duration":"0s"}]}`, "must be positive"},
+		{"bad policy", `{"name":"x","policies":["lru"]}`, "unknown policy"},
+		{"bad axis param", `{"name":"x","axes":[{"param":"workload.mix","values":[1]}]}`, "unknown axis param"},
+		{"axis no values", `{"name":"x","axes":[{"param":"oversubscribe","values":[]}]}`, "no values"},
+		{"axis label mismatch", `{"name":"x","axes":[{"param":"oversubscribe","values":[0,0.2],"labels":["a"]}]}`, "1 labels for 2 values"},
+		{"duplicate axis", `{"name":"x","axes":[{"param":"oversubscribe","values":[0]},{"param":"oversubscribe","values":[0.2]}]}`, "swept twice"},
+		{"bad report format", `{"name":"x","report":{"format":"xml"}}`, "unknown report format"},
+		{"bad metric", `{"name":"x","report":{"metrics":["latency"]}}`, "unknown metric"},
+		{"negative scale", `{"name":"x","scale":-1}`, "negative scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("spec %s accepted", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBaseScenarioScaling checks the spec pipeline reproduces the experiment
+// runners' scaling rules: aisle rounding, the 6-hour duration floor, the
+// 9-hour start offset for short large-preset runs, and the seed threading.
+func TestBaseScenarioScaling(t *testing.T) {
+	s, err := Parse([]byte(`{"name":"x","scale":0.12}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.baseScenario(s.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Layout.Aisles != 2 {
+		t.Errorf("aisles = %d, want 2", sc.Layout.Aisles)
+	}
+	if want := time.Duration(float64(7*24*time.Hour) * 0.12); sc.Duration != want {
+		t.Errorf("duration = %v, want %v", sc.Duration, want)
+	}
+	if sc.StartOffset != 9*time.Hour {
+		t.Errorf("start offset = %v, want 9h", sc.StartOffset)
+	}
+	if sc.Workload.Duration != sc.Duration {
+		t.Error("workload duration not aligned")
+	}
+	if sc.Layout.Seed != 42 || sc.Workload.Seed != 42 {
+		t.Error("default seed 42 not applied")
+	}
+
+	// Explicit fields survive scaling; custom seeds thread through.
+	s2, err := Parse([]byte(`{"name":"x","scale":0.12,"seed":7,"start_offset":"3h","layout":{"seed":9}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := s2.baseScenario(s2.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2.StartOffset != 3*time.Hour {
+		t.Errorf("explicit start offset overridden to %v", sc2.StartOffset)
+	}
+	if sc2.Layout.Seed != 9 || sc2.Workload.Seed != 7 {
+		t.Errorf("seeds = %d/%d, want 9/7", sc2.Layout.Seed, sc2.Workload.Seed)
+	}
+
+	// Explicit durations on the large preset are honored: no paper-week
+	// floor at scale 1, proportional shrink (5-minute floor) under scale.
+	s2b, err := Parse([]byte(`{"name":"x","duration":"1h"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2b, err := s2b.baseScenario(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc2b.Duration != time.Hour {
+		t.Errorf("explicit 1h duration became %v", sc2b.Duration)
+	}
+	sc2c, err := s2b.baseScenario(0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := time.Duration(float64(time.Hour) * 0.12); sc2c.Duration != want {
+		t.Errorf("explicit 1h duration at scale 0.12 = %v, want %v", sc2c.Duration, want)
+	}
+
+	// Small preset: sub-half scale shortens to the 20-minute smoke window.
+	s3, err := Parse([]byte(`{"name":"x","scale":0.12,"layout":{"preset":"small"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc3, err := s3.baseScenario(s3.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc3.Duration != 20*time.Minute {
+		t.Errorf("small-preset duration = %v, want 20m", sc3.Duration)
+	}
+	if sc3.Layout.Aisles != 1 {
+		t.Errorf("small preset aisles = %d, want 1", sc3.Layout.Aisles)
+	}
+}
+
+// TestExpandCartesian checks multi-axis grids expand row-major with the last
+// axis fastest, and that axis values mutate the scenario.
+func TestExpandCartesian(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"name": "x",
+		"layout": {"preset": "small"},
+		"axes": [
+			{"param": "oversubscribe", "values": [0, 0.2]},
+			{"param": "layout.gpu", "values": ["A100", "H100"]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.baseScenario(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := s.expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(points))
+	}
+	wantLabels := [][]string{{"0", "A100"}, {"0", "H100"}, {"0.2", "A100"}, {"0.2", "H100"}}
+	for i, p := range points {
+		if p.Labels[0] != wantLabels[i][0] || p.Labels[1] != wantLabels[i][1] {
+			t.Errorf("point %d labels = %v, want %v", i, p.Labels, wantLabels[i])
+		}
+	}
+	if points[3].Scenario.Oversubscribe != 0.2 || points[3].Scenario.Layout.GPU != layout.H100 {
+		t.Errorf("axis values not applied: %+v", points[3].Scenario)
+	}
+	if points[0].Scenario.Layout.GPU != layout.A100 || points[0].Scenario.Oversubscribe != 0 {
+		t.Error("base point mutated")
+	}
+}
+
+// TestParsePolicy pins the policy name surface.
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]string{
+		"baseline":     "Baseline",
+		"tapas":        "TAPAS",
+		"place":        "Place",
+		"place,config": "Place+Config",
+		"place, route": "Place+Route",
+	} {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if p.Name != want {
+			t.Errorf("%q → %q, want %q", in, p.Name, want)
+		}
+		if p.New().Name() != want {
+			t.Errorf("%q constructor names %q", in, p.New().Name())
+		}
+	}
+	if _, err := ParsePolicy("place,teleport"); err == nil {
+		t.Error("bad lever accepted")
+	}
+}
+
+// TestDefaultPoliciesAndMetrics checks the spec defaults.
+func TestDefaultPoliciesAndMetrics(t *testing.T) {
+	s, err := Parse([]byte(`{"name":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.policyNames(); len(got) != 2 || got[0] != "baseline" || got[1] != "tapas" {
+		t.Errorf("default policies = %v", got)
+	}
+	if got := s.metricIDs(); len(got) != 2 || got[0] != "norm_max_temp" || got[1] != "norm_peak_power" {
+		t.Errorf("default metrics = %v", got)
+	}
+}

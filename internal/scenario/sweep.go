@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/sim"
+)
+
+// axisSetters maps a sweepable parameter name to the mutation it applies to
+// a grid point's scenario. Axes apply to the fully built (overridden and
+// scaled) base scenario, in spec order.
+var axisSetters = map[string]func(*sim.Scenario, AxisValue) error{
+	"workload.saas_fraction": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("workload.saas_fraction")
+		if err != nil {
+			return err
+		}
+		if f < 0 || f > 1 {
+			return fmt.Errorf("workload.saas_fraction %v out of [0,1]", f)
+		}
+		sc.Workload.SaaSFraction = f
+		return nil
+	},
+	"workload.demand_scale": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("workload.demand_scale")
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("workload.demand_scale %v must be positive", f)
+		}
+		sc.Workload.DemandScale = f
+		return nil
+	},
+	"workload.occupancy": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("workload.occupancy")
+		if err != nil {
+			return err
+		}
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("workload.occupancy %v out of (0,1]", f)
+		}
+		sc.Workload.Occupancy = f
+		return nil
+	},
+	"workload.endpoints": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("workload.endpoints")
+		if err != nil {
+			return err
+		}
+		if f < 1 {
+			return fmt.Errorf("workload.endpoints %v must be at least 1", f)
+		}
+		sc.Workload.Endpoints = int(f)
+		return nil
+	},
+	"oversubscribe": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("oversubscribe")
+		if err != nil {
+			return err
+		}
+		if f < 0 {
+			return fmt.Errorf("oversubscribe %v negative", f)
+		}
+		sc.Oversubscribe = f
+		return nil
+	},
+	"region": func(sc *sim.Scenario, v AxisValue) error {
+		name, err := v.str("region")
+		if err != nil {
+			return err
+		}
+		reg, err := regionByName(name)
+		if err != nil {
+			return err
+		}
+		sc.Region = reg
+		return nil
+	},
+	"region.mean_c": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("region.mean_c")
+		sc.Region.MeanC = f
+		return err
+	},
+	"layout.gpu": func(sc *sim.Scenario, v AxisValue) error {
+		name, err := v.str("layout.gpu")
+		if err != nil {
+			return err
+		}
+		m, err := layout.ParseGPUModel(name)
+		if err != nil {
+			return err
+		}
+		sc.Layout.GPU = m
+		return nil
+	},
+	"layout.mix_fraction": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("layout.mix_fraction")
+		if err != nil {
+			return err
+		}
+		if f < 0 || f > 1 {
+			return fmt.Errorf("layout.mix_fraction %v out of [0,1]", f)
+		}
+		sc.Layout.MixFraction = f
+		return nil
+	},
+	"seed": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("seed")
+		if err != nil {
+			return err
+		}
+		sc.Layout.Seed = uint64(f)
+		sc.Workload.Seed = uint64(f)
+		return nil
+	},
+	"start_offset": func(sc *sim.Scenario, v AxisValue) error {
+		s, err := v.str("start_offset")
+		if err != nil {
+			return err
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("start_offset axis: %w", err)
+		}
+		sc.StartOffset = d
+		return nil
+	},
+}
+
+// AxisParams lists the sweepable parameter names in sorted order.
+func AxisParams() []string {
+	out := make([]string, 0, len(axisSetters))
+	for p := range axisSetters {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Point is one cell of the campaign grid: the scenario with every axis value
+// applied, plus the per-axis display labels.
+type Point struct {
+	Labels   []string
+	Values   []AxisValue
+	Scenario sim.Scenario
+}
+
+// expand builds the cartesian grid of the spec's axes over the base
+// scenario. A spec without axes yields exactly one point. Points are ordered
+// with the last axis varying fastest (row-major in spec axis order).
+func (s *Spec) expand(base sim.Scenario) ([]Point, error) {
+	points := []Point{{Scenario: base}}
+	for _, ax := range s.Axes {
+		next := make([]Point, 0, len(points)*len(ax.Values))
+		set := axisSetters[ax.Param]
+		for _, p := range points {
+			for vi, v := range ax.Values {
+				label := v.Label()
+				if len(ax.Labels) > 0 {
+					label = ax.Labels[vi]
+				}
+				np := Point{
+					Labels:   append(append([]string(nil), p.Labels...), label),
+					Values:   append(append([]AxisValue(nil), p.Values...), v),
+					Scenario: p.Scenario,
+				}
+				// Failure schedules are shared slices on the copied
+				// scenario; axes never mutate them, so sharing is safe.
+				if err := set(&np.Scenario, v); err != nil {
+					return nil, fmt.Errorf("scenario: spec %q: axis %q: %w", s.Name, ax.Param, err)
+				}
+				next = append(next, np)
+			}
+		}
+		points = next
+	}
+	return points, nil
+}

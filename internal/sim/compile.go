@@ -7,6 +7,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/cluster"
 	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/llm"
+	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/thermal"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
@@ -35,6 +36,17 @@ type CompiledScenario struct {
 	Outside  *trace.OutsideTemp
 	Profile  *llm.Profile
 	Coeffs   *thermal.Coeffs
+
+	// Per-generation artifacts for heterogeneous fleets, dense-indexed by
+	// layout.GPUModel. profileBy[base model] aliases Profile; absent models
+	// hold zero values. srvModel is the per-server generation index used by
+	// the tick kernel, and fleetTDPW the aggregate server TDP.
+	profileBy  [layout.GPUModelCount]*llm.Profile
+	specBy     [layout.GPUModelCount]layout.GPUSpec
+	idleWBy    [layout.GPUModelCount]float64
+	idleFracBy [layout.GPUModelCount]float64
+	srvModel   []uint8
+	fleetTDPW  float64
 
 	// compiledFrom snapshots the descriptor Compile ran against, so Run can
 	// reject variants that changed compile-relevant fields.
@@ -71,16 +83,31 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 		Scenario:     sc,
 		compiledFrom: sc,
 		DC:           dc,
-		Workload: w,
-		Outside:  trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, wc.Seed^0xd00d),
-		Profile:  llm.BuildProfile(spec, llm.DefaultWorkload()),
-		Coeffs:   thermal.CompileCoeffs(dc.Servers, spec.GPUsPerServer),
-		srvRow:   make([]int32, len(dc.Servers)),
-		srvAisle: make([]int32, len(dc.Servers)),
+		Workload:     w,
+		Outside:      trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, wc.Seed^0xd00d),
+		Profile:      llm.BuildProfile(spec, llm.DefaultWorkload()),
+		Coeffs:       thermal.CompileCoeffs(dc.Servers, spec.GPUsPerServer),
+		srvRow:       make([]int32, len(dc.Servers)),
+		srvAisle:     make([]int32, len(dc.Servers)),
+		srvModel:     make([]uint8, len(dc.Servers)),
 	}
 	for i, s := range dc.Servers {
 		cs.srvRow[i] = int32(s.Row)
 		cs.srvAisle[i] = int32(s.Aisle)
+		cs.srvModel[i] = uint8(s.GPU.Model)
+		cs.fleetTDPW += s.GPU.ServerTDPW
+	}
+	// One serving profile and idle-power table per hardware generation
+	// present; the base generation reuses the profile built above.
+	cs.profileBy[spec.Model] = cs.Profile
+	for _, m := range dc.Models() {
+		ms := layout.Spec(m)
+		cs.specBy[m] = ms
+		cs.idleWBy[m] = power.ServerPowerAtUniformLoad(ms, 0)
+		cs.idleFracBy[m] = ms.GPUIdleW / ms.GPUTDPW
+		if cs.profileBy[m] == nil {
+			cs.profileBy[m] = llm.BuildProfile(ms, llm.DefaultWorkload())
+		}
 	}
 	// Pre-warm the lazily memoized aisle rosters: policies call
 	// Aisle.Servers() in capping paths, and the memo write would race when
@@ -139,6 +166,11 @@ func (cs *CompiledScenario) Run(pol Policy) (*Result, error) {
 		return nil, err
 	}
 	st := cluster.NewStateFrom(cs.DC, cs.Workload, cs.Profile)
+	for m, p := range cs.profileBy {
+		if p != nil && p != cs.Profile {
+			st.SetModelProfile(layout.GPUModel(m), p)
+		}
+	}
 	st.Tick = sc.Tick
 	st.SeedHistory(cs.customerPeak, cs.endpointPeak)
 	if init, ok := pol.(Initializer); ok {

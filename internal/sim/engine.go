@@ -56,12 +56,6 @@ type runner struct {
 	nextVM        int
 	res           *Result
 
-	// Tick-invariant values hoisted out of the per-server loops: the GPU
-	// spec is uniform across the fleet, so idle power and the idle power
-	// fraction never change during a run.
-	idlePowerW float64
-	idleFrac   float64
-
 	// Per-tick scratch for stepServers: cap-recovery eligibility depends
 	// only on the row/aisle, so it is evaluated once per row/aisle instead
 	// of once per server.
@@ -84,11 +78,10 @@ func (r *runner) run() (*Result, error) {
 	}
 	n := len(st.DC.Servers)
 	r.thermalCap = make([]float64, n)
-	r.idlePowerW = power.ServerPowerAtUniformLoad(st.Spec, 0)
-	r.idleFrac = st.Spec.GPUIdleW / st.Spec.GPUTDPW
 	for i := range r.thermalCap {
 		r.thermalCap[i] = 1
-		st.ServerPowerW[i] = r.idlePowerW // seed the fan-control lag
+		// Seed the fan-control lag with each generation's idle draw.
+		st.ServerPowerW[i] = r.cs.idleWBy[r.cs.srvModel[i]]
 	}
 	r.aisleViolated = make([]bool, len(st.DC.Aisles))
 	r.throttledSrv = make([]bool, n)
@@ -196,16 +189,17 @@ func (r *runner) routeDemand(wall time.Duration) {
 // demand, and invokes the policy when an aisle out-draws its AHUs.
 func (r *runner) airflowStep() {
 	st := r.st
-	spec := st.Spec
-	idleP := r.idlePowerW
-	maxP := spec.ServerTDPW
-	srvAisle := r.cs.srvAisle
+	cs := r.cs
+	srvAisle := cs.srvAisle
 	for a := range st.AisleDemandCFM {
 		st.AisleDemandCFM[a] = 0
 	}
 	for id := range st.ServerPowerW {
-		heatFrac := units.Clamp01((st.ServerPowerW[id] - idleP) / (maxP - idleP))
-		af := thermal.Airflow(spec, heatFrac)
+		m := cs.srvModel[id]
+		spec := &cs.specBy[m]
+		idleP := cs.idleWBy[m]
+		heatFrac := units.Clamp01((st.ServerPowerW[id] - idleP) / (spec.ServerTDPW - idleP))
+		af := thermal.Airflow(*spec, heatFrac)
 		st.ServerAirflowCFM[id] = af
 		st.AisleDemandCFM[srvAisle[id]] += af
 	}
@@ -230,10 +224,9 @@ func (r *runner) airflowStep() {
 // airflow is violated; power-capped when its row exceeds its effective limit.
 func (r *runner) fleetStep(wall time.Duration) {
 	st := r.st
-	spec := st.Spec
-	idleFrac := r.idleFrac
-	co := r.cs.Coeffs
-	srvRow, srvAisle := r.cs.srvRow, r.cs.srvAisle
+	cs := r.cs
+	co := cs.Coeffs
+	srvRow, srvAisle := cs.srvRow, cs.srvAisle
 	gpus := st.GPUsPerServer
 	// Caps recover gradually, and only while the constraints that
 	// motivated them sit comfortably below their limits — otherwise
@@ -252,11 +245,14 @@ func (r *runner) fleetStep(wall time.Duration) {
 	// The cooling-curve base is uniform across the fleet this tick; only the
 	// per-server spatial offset and aisle recirculation vary.
 	inletBase := thermal.CoolingCurve(st.OutsideC, st.DCLoadFrac)
-	throttleC := spec.ThrottleTempC
 	maxTemp := 0.0
 	total := 0.0
 	n := len(st.ServerPowerW)
 	for id := 0; id < n; id++ {
+		m := cs.srvModel[id]
+		spec := &cs.specBy[m]
+		idleFrac := cs.idleFracBy[m]
+		throttleC := spec.ThrottleTempC
 		row := int(srvRow[id])
 		aisle := int(srvAisle[id])
 		if r.rowRecoverOK[row] && r.aisleRecoverOK[aisle] {
@@ -288,7 +284,7 @@ func (r *runner) fleetStep(wall time.Duration) {
 			vm := st.VMs[vmID]
 			util := vm.Spec.Load.At(wall)
 			st.ObserveCustomerLoad(vm.Spec.Customer, util)
-			frac := power.GPUPower(spec, util, cap) / spec.GPUTDPW
+			frac := power.GPUPower(*spec, util, cap) / spec.GPUTDPW
 			for g := range fracs {
 				fracs[g] = frac
 			}
@@ -357,7 +353,7 @@ func (r *runner) fleetStep(wall time.Duration) {
 		for _, f := range fracs {
 			sum += f * spec.GPUTDPW
 		}
-		p := power.ServerPower(spec, sum, loadFrac, thermal.FanFrac(loadFrac))
+		p := power.ServerPower(*spec, sum, loadFrac, thermal.FanFrac(loadFrac))
 		st.ServerPowerW[id] = p
 		st.RowPowerW[row] += p
 		total += p
@@ -380,7 +376,7 @@ func (r *runner) fleetStep(wall time.Duration) {
 	}
 	r.res.PeakRowPowerW = append(r.res.PeakRowPowerW, peak)
 	r.res.TotalPowerW = append(r.res.TotalPowerW, total)
-	r.prevDCLoad = total / (float64(n) * spec.ServerTDPW)
+	r.prevDCLoad = total / cs.fleetTDPW
 }
 
 // harvest folds a departing instance's cumulative service counters into the

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/core"
+	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
@@ -228,5 +230,76 @@ func TestResultAccessorsOnEmpty(t *testing.T) {
 func TestFailureKindString(t *testing.T) {
 	if CoolingFailure.String() != "cooling" || PowerFailure.String() != "power" {
 		t.Error("FailureKind String() wrong")
+	}
+}
+
+// TestMixedFleetRun proves a heterogeneous A100+H100 scenario simulates end
+// to end under both policies, with H100 rows actually drawing more power
+// than A100 rows and all runs deterministic.
+func TestMixedFleetRun(t *testing.T) {
+	sc := SmallScenario()
+	sc.Layout.Aisles = 2
+	sc.Layout.MixGPU = layout.H100
+	sc.Layout.MixFraction = 0.5
+	sc.Duration = 30 * time.Minute
+	sc.Workload.Duration = sc.Duration
+	sc.RecordRowSeries = true
+
+	cs, err := Compile(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.DC.Heterogeneous() {
+		t.Fatal("compiled fleet not heterogeneous")
+	}
+	for _, mk := range []func() Policy{
+		func() Policy { return core.NewBaseline() },
+		func() Policy { return core.NewFull() },
+	} {
+		res1, err := cs.Run(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := cs.Run(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res1.PeakPower() != res2.PeakPower() || res1.MaxTemp() != res2.MaxTemp() {
+			t.Fatalf("%s: mixed-fleet runs not deterministic", res1.Policy)
+		}
+	}
+
+	// Physics check against the all-A100 twin on an IaaS-only workload
+	// under the oblivious Baseline: placement (packing) and per-VM load
+	// fractions are identical across the two fleets, so the aisle swapped
+	// to H100 hardware must draw strictly more — the same load fraction on
+	// 700 W GPUs is more watts than on 400 W ones.
+	iaas := sc
+	iaas.Workload.SaaSFraction = 0
+	uni := iaas
+	uni.Layout.MixFraction = 0
+	csMixed, err := Compile(iaas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csUni, err := Compile(uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := csMixed.Run(core.NewBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a100, err := csUni.Run(core.NewBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastTotal := func(r *Result) float64 { return r.TotalPowerW[len(r.TotalPowerW)-1] }
+	if lastTotal(mixed) <= lastTotal(a100) {
+		t.Errorf("mixed-fleet total %.0f W not above all-A100 total %.0f W", lastTotal(mixed), lastTotal(a100))
+	}
+	// Each generation gets its own serving profile.
+	if cs.profileBy[layout.H100] == nil || cs.profileBy[layout.H100] == cs.profileBy[layout.A100] {
+		t.Error("H100 generation did not get its own serving profile")
 	}
 }

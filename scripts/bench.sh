@@ -4,23 +4,36 @@
 # trajectory is tracked across PRs.
 #
 # Usage:
-#   scripts/bench.sh                # default 2 iterations per benchmark
-#   BENCHTIME=5x scripts/bench.sh   # more iterations for steadier numbers
-#   BENCH_FILTER='Fig2.' scripts/bench.sh
+#   scripts/bench.sh                      # default 2 iterations per benchmark
+#   BENCHTIME=5x scripts/bench.sh         # more iterations for steadier numbers
+#   BENCH_FILTER='Fig2.' scripts/bench.sh # subset of benchmarks
+#   BENCH_OUT=bench_ci.json scripts/bench.sh  # explicit output path (CI)
+#
+# The BENCH_FILTER regex is applied both to `go test -bench` and to the JSON
+# serialization, and the script fails when it matches no benchmark at all —
+# a typo'd filter must not silently write an empty baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-2x}"
 filter="${BENCH_FILTER:-Table1|Fig[0-9]+|Table2|EngineTick|CompileScenario|CompiledScenarioRun}"
-out="BENCH_$(date +%Y%m%d).json"
+out="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
+ci="false"
+if [ "${GITHUB_ACTIONS:-}" = "true" ]; then ci="true"; fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "^Benchmark(${filter})" -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" '
-BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", date, benchtime; n = 0 }
-/^Benchmark/ {
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v benchtime="$benchtime" -v filter="$filter" -v ci="$ci" '
+BEGIN {
+    jsonFilter = filter
+    gsub(/\\/, "\\\\", jsonFilter); gsub(/"/, "\\\"", jsonFilter)
+    print "{"
+    printf "  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"filter\": \"%s\",\n  \"ci\": %s,\n  \"benchmarks\": [\n", date, benchtime, jsonFilter, ci
+    n = 0
+}
+$1 ~ ("^Benchmark(" filter ")") {
     name = $1; sub(/-[0-9]+$/, "", name)
     if (n++) printf ",\n"
     printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, $3
@@ -33,4 +46,10 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"be
 END { print "\n  ]\n}" }
 ' "$raw" > "$out"
 
-echo "wrote $out" >&2
+matched="$(grep -c '"name"' "$out" || true)"
+if [ "$matched" -eq 0 ]; then
+    rm -f "$out"
+    echo "bench.sh: BENCH_FILTER='${filter}' matched no benchmarks; no baseline written" >&2
+    exit 1
+fi
+echo "wrote $out ($matched benchmarks)" >&2

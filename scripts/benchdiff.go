@@ -1,0 +1,166 @@
+// Command benchdiff compares two benchmark baselines produced by
+// scripts/bench.sh and fails when any tracked benchmark regressed beyond the
+// threshold — the CI benchmark-regression gate.
+//
+// Usage:
+//
+//	go run scripts/benchdiff.go -new bench_ci.json                # vs newest committed BENCH_*.json
+//	go run scripts/benchdiff.go -base BENCH_20260729.json -new bench_ci.json -threshold 1.25
+//
+// Exit codes: 0 ok, 1 regression found, 2 usage/baseline errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+type baseline struct {
+	Date       string      `json:"date"`
+	Benchtime  string      `json:"benchtime"`
+	Filter     string      `json:"filter"`
+	CI         bool        `json:"ci"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	var (
+		basePath     = flag.String("base", "", "baseline JSON (default: newest BENCH_*.json under -dir)")
+		newPath      = flag.String("new", "", "fresh results JSON (required)")
+		dir          = flag.String("dir", ".", "directory searched for the default baseline")
+		threshold    = flag.Float64("threshold", 1.25, "fail when new/base ns/op exceeds this ratio on any benchmark")
+		allowMissing = flag.Bool("allow-missing", false, "tolerate baseline benchmarks absent from the fresh run (renames); default fails so a regression cannot vanish by dropping its benchmark")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	if *basePath == "" {
+		p, err := newestBaseline(*dir, *newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		*basePath = p
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseBy := make(map[string]benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	var names []string
+	for _, b := range fresh.Benchmarks {
+		if _, ok := baseBy[b.Name]; ok {
+			names = append(names, b.Name)
+		} else {
+			fmt.Printf("NEW      %-44s %12.0f ns/op (no baseline)\n", b.Name, b.NsPerOp)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmarks in common between %s and %s\n", *basePath, *newPath)
+		os.Exit(2)
+	}
+	freshBy := make(map[string]benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	dropped := 0
+	for _, b := range base.Benchmarks {
+		if _, ok := freshBy[b.Name]; !ok {
+			fmt.Printf("DROPPED  %-44s (in baseline, not in new run)\n", b.Name)
+			dropped++
+		}
+	}
+
+	fmt.Printf("baseline %s (%s), new %s (%s), threshold %.2fx\n",
+		*basePath, base.Date, *newPath, fresh.Date, *threshold)
+	regressed := 0
+	for _, name := range names {
+		b, f := baseBy[name], freshBy[name]
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := f.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > *threshold {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-9s %-44s %12.0f → %12.0f ns/op  (%5.2fx)\n", status, name, b.NsPerOp, f.NsPerOp, ratio)
+	}
+	// ns/op only compares meaningfully on like hardware. When one side was
+	// recorded on CI and the other on a dev machine, report but do not
+	// fail — the gate arms itself once the committed baseline comes from
+	// the CI artifact (same runner class as the fresh results).
+	advisory := base.CI != fresh.CI
+	if dropped > 0 && !*allowMissing {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d baseline benchmark(s) missing from the new run (pass -allow-missing for intentional renames)\n", dropped)
+		os.Exit(1)
+	}
+	if regressed > 0 {
+		if advisory {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) beyond %.2fx, but baseline and new run come from different hardware classes (ci: %v vs %v) — advisory only; commit the CI artifact as the baseline to arm the gate\n",
+				regressed, *threshold, base.CI, fresh.CI)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.2fx\n", regressed, *threshold)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s holds no benchmarks", path)
+	}
+	return &b, nil
+}
+
+// newestBaseline picks the lexicographically latest BENCH_*.json (the names
+// embed the date as yyyymmdd, so lexicographic order is date order).
+func newestBaseline(dir, exclude string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(matches)
+	ex, _ := filepath.Abs(exclude)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if abs, _ := filepath.Abs(matches[i]); abs == ex {
+			continue
+		}
+		return matches[i], nil
+	}
+	return "", fmt.Errorf("no committed BENCH_*.json baseline under %s", dir)
+}

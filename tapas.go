@@ -25,6 +25,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/core"
 	"github.com/tapas-sim/tapas/internal/experiments"
 	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/scenario"
 	"github.com/tapas-sim/tapas/internal/sim"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
@@ -108,6 +109,45 @@ func QuickScenario() Scenario {
 	sc.Duration = 20 * time.Minute
 	sc.Workload.Duration = sc.Duration
 	return sc
+}
+
+// ScenarioSpec is a declarative JSON scenario specification: one simulation
+// setup (layout scale and A100/H100 mix, workload mix, weather,
+// oversubscription, emergency schedule, policy set) plus optional sweep axes
+// that expand it into a campaign grid. See examples/scenarios/ and
+// cmd/tapas-campaign.
+type ScenarioSpec = scenario.Spec
+
+// CampaignParams configures a campaign execution.
+type CampaignParams struct {
+	// Scale overrides the spec's scale when positive (1.0 = paper scale).
+	Scale float64
+	// Parallel bounds the worker pool (≤ 0 selects GOMAXPROCS); reports are
+	// byte-identical across worker counts.
+	Parallel int
+}
+
+// LoadScenarioSpec reads and validates a scenario spec file.
+func LoadScenarioSpec(path string) (*ScenarioSpec, error) { return scenario.Load(path) }
+
+// ParseScenarioSpec decodes and validates a scenario spec. Unknown fields
+// are rejected so typos fail loudly.
+func ParseScenarioSpec(data []byte) (*ScenarioSpec, error) { return scenario.Parse(data) }
+
+// RunCampaign expands a scenario spec into its sweep grid, compiles each
+// unique scenario once, fans every (scenario, policy) run out across the
+// worker pool, and writes the spec's report (text grid, CSV, or JSON) to w.
+func RunCampaign(spec *ScenarioSpec, p CampaignParams, w io.Writer) error {
+	c, err := spec.Campaign(p.Scale)
+	if err != nil {
+		return err
+	}
+	res, err := c.Run(scenario.RunOptions{Parallel: p.Parallel})
+	if err != nil {
+		return err
+	}
+	_, err = res.WriteTo(w)
+	return err
 }
 
 // ExperimentIDs lists every reproducible table/figure in paper order.
