@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -25,67 +26,78 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code (0 ok, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tapas-campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for compiles and runs (1 = sequential)")
-		scale    = flag.Float64("scale", 0, "override the spec's scale (0 keeps it; 1.0 = paper scale)")
-		format   = flag.String("format", "", "override the spec's report format: text | csv | json")
-		validate = flag.Bool("validate", false, "parse and validate specs without running anything")
-		list     = flag.Bool("list", false, "list sweepable axis params and report metrics")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for compiles and runs (1 = sequential)")
+		scale    = fs.Float64("scale", 0, "override the spec's scale (0 keeps it; 1.0 = paper scale)")
+		format   = fs.String("format", "", "override the spec's report format: text | csv | json")
+		validate = fs.Bool("validate", false, "parse and validate specs without running anything")
+		list     = fs.Bool("list", false, "list sweepable axis params and report metrics")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("axis params:")
+		fmt.Fprintln(stdout, "axis params:")
 		for _, p := range scenario.AxisParams() {
-			fmt.Printf("  %s\n", p)
+			fmt.Fprintf(stdout, "  %s\n", p)
 		}
-		fmt.Println("metrics:")
+		fmt.Fprintln(stdout, "metrics:")
 		for _, id := range scenario.MetricIDs() {
-			fmt.Printf("  %s\n", id)
+			fmt.Fprintf(stdout, "  %s\n", id)
 		}
-		return
+		return 0
 	}
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "tapas-campaign: no spec files (see -h)")
-		os.Exit(2)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "tapas-campaign: no spec files (see -h)")
+		return 2
 	}
 	switch *format {
 	case "", "text", "csv", "json":
 	default:
-		fmt.Fprintf(os.Stderr, "tapas-campaign: unknown -format %q\n", *format)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tapas-campaign: unknown -format %q\n", *format)
+		return 2
 	}
 
-	for _, path := range flag.Args() {
+	for _, path := range fs.Args() {
 		spec, err := scenario.Load(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tapas-campaign:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "tapas-campaign:", err)
+			return 1
 		}
 		if *format != "" {
 			spec.Report.Format = *format
 		}
 		c, err := spec.Campaign(*scale)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tapas-campaign:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "tapas-campaign:", err)
+			return 1
 		}
 		if *validate {
-			fmt.Fprintf(os.Stderr, "%s: ok (%d points × %d policies = %d runs)\n",
+			fmt.Fprintf(stderr, "%s: ok (%d points × %d policies = %d runs)\n",
 				path, len(c.Points), len(c.Policies), c.Runs())
 			continue
 		}
 		start := time.Now()
 		res, err := c.Run(scenario.RunOptions{Parallel: *parallel})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tapas-campaign:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "tapas-campaign:", err)
+			return 1
 		}
-		if _, err := res.WriteTo(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "tapas-campaign:", err)
-			os.Exit(1)
+		if _, err := res.WriteTo(stdout); err != nil {
+			fmt.Fprintln(stderr, "tapas-campaign:", err)
+			return 1
 		}
-		fmt.Fprintf(os.Stderr, "%-24s %3d runs in %v\n",
+		fmt.Fprintf(stderr, "%-24s %3d runs in %v\n",
 			strings.TrimSuffix(spec.Name, "\n"), c.Runs(), time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

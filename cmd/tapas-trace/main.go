@@ -1,0 +1,320 @@
+// Command tapas-trace records, inspects, and replays workload traces — the
+// record/replay pipeline that turns a synthetic (or captured) workload into
+// a pinned CSV artifact campaigns can sweep policies, climates, and failure
+// schedules over.
+//
+// Usage:
+//
+//	tapas-trace -export trace.csv -preset quick -seed 42
+//	tapas-trace -export trace.csv -spec examples/scenarios/heatwave-sweep.json
+//	tapas-trace -export trace.csv -vms trace.vms.csv -preset small
+//	tapas-trace -stats examples/scenarios/pinned-small.trace.csv
+//	tapas-trace -replay examples/scenarios/replay-pinned.json
+//
+// -export materializes the workload a spec or preset would simulate and
+// writes the versioned workload CSV (with -vms, also the flat per-VM table
+// that spreadsheet tools ingest directly — the CSV pair). -stats summarizes
+// a recorded trace: fleet, kind mix, endpoints, demand percentiles. -replay
+// runs a spec whose workload.trace pins a recorded file and prints its
+// campaign report to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	tapas "github.com/tapas-sim/tapas"
+	"github.com/tapas-sim/tapas/internal/scenario"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code (0 ok, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tapas-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		export   = fs.String("export", "", "record: write the workload CSV to this path")
+		vmsOut   = fs.String("vms", "", "with -export: also write the flat per-VM CSV table to this path")
+		specPath = fs.String("spec", "", "with -export: record the workload of this scenario spec (single grid point)")
+		preset   = fs.String("preset", "", "with -export: record a preset workload: quick | small | large (default quick)")
+		seed     = fs.Uint64("seed", 42, "with -export -preset: deterministic workload seed")
+		stats    = fs.String("stats", "", "inspect: summarize a recorded workload CSV")
+		replay   = fs.String("replay", "", "replay: run a scenario spec whose workload.trace pins a recorded CSV")
+		parallel = fs.Int("parallel", 0, "with -replay: worker pool size (0 selects GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	modes := 0
+	for _, m := range []string{*export, *stats, *replay} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(stderr, "tapas-trace: exactly one of -export, -stats, -replay is required (see -h)")
+		return 2
+	}
+
+	// A flag outside its mode would be silently ignored; reject the
+	// combination instead (same contract as tapas-sim's -spec conflicts).
+	var mode string
+	var ok map[string]bool
+	switch {
+	case *export != "":
+		mode, ok = "-export", map[string]bool{"export": true, "vms": true, "spec": true, "preset": true, "seed": true}
+	case *stats != "":
+		mode, ok = "-stats", map[string]bool{"stats": true}
+	default:
+		mode, ok = "-replay", map[string]bool{"replay": true, "parallel": true}
+	}
+	conflict := false
+	fs.Visit(func(f *flag.Flag) {
+		if !ok[f.Name] {
+			fmt.Fprintf(stderr, "tapas-trace: -%s does not apply to %s\n", f.Name, mode)
+			conflict = true
+		}
+	})
+	if conflict {
+		return 2
+	}
+
+	switch {
+	case *export != "":
+		if *specPath != "" && flagWasSet(fs, "seed") {
+			// The spec pins its own seeds; a -seed alongside would be
+			// silently ignored.
+			fmt.Fprintln(stderr, "tapas-trace: -seed conflicts with -spec (set the seed in the spec instead)")
+			return 2
+		}
+		return runExport(*export, *vmsOut, *specPath, *preset, *seed, stderr)
+	case *stats != "":
+		return runStats(*stats, stdout, stderr)
+	default:
+		return runReplay(*replay, *parallel, stdout, stderr)
+	}
+}
+
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runExport materializes the workload a spec or preset would simulate and
+// archives it as the versioned workload CSV (plus, optionally, the flat
+// per-VM table).
+func runExport(out, vmsOut, specPath, preset string, seed uint64, stderr io.Writer) int {
+	if specPath != "" && preset != "" {
+		fmt.Fprintln(stderr, "tapas-trace: -spec and -preset are mutually exclusive")
+		return 2
+	}
+	var sc tapas.Scenario
+	switch {
+	case specPath != "":
+		spec, err := scenario.Load(specPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		c, err := spec.Campaign(0)
+		if err != nil {
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		if len(c.Points) > 1 {
+			fmt.Fprintf(stderr, "tapas-trace: spec %q sweeps axes into %d grid points; -export needs a single workload\n", spec.Name, len(c.Points))
+			return 2
+		}
+		sc = c.Points[0].Scenario
+		if sc.Trace != nil {
+			fmt.Fprintf(stderr, "tapas-trace: spec %q already replays a recorded trace\n", spec.Name)
+			return 2
+		}
+	default:
+		switch preset {
+		case "", "quick":
+			sc = tapas.QuickScenario()
+		case "small":
+			sc = tapas.RealClusterScenario()
+		case "large":
+			sc = tapas.LargeScenario()
+		default:
+			fmt.Fprintf(stderr, "tapas-trace: unknown preset %q (known: quick, small, large)\n", preset)
+			return 2
+		}
+		sc.Workload.Seed = seed
+		sc.Layout.Seed = seed
+	}
+
+	wl, err := tapas.GenerateWorkload(sc)
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	if err := trace.SaveWorkloadCSV(out, wl); err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "recorded %d VMs / %d endpoints over %v to %s\n",
+		len(wl.VMs), len(wl.Endpoints), wl.Config.Duration, out)
+	if vmsOut != "" {
+		f, err := os.Create(vmsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		if err := trace.WriteVMsCSV(f, wl.VMs); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote flat VM table to %s\n", vmsOut)
+	}
+	return 0
+}
+
+// runStats summarizes a recorded workload: fleet, kind mix, endpoint sizes,
+// and the demand percentiles that tell whether a trace is worth replaying.
+func runStats(path string, stdout, stderr io.Writer) int {
+	wl, err := tapas.LoadTrace(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	cfg := wl.Config
+	iaas, saas, atStart := 0, 0, 0
+	customers := map[int]bool{}
+	for _, vm := range wl.VMs {
+		if vm.Kind == trace.IaaS {
+			iaas++
+			customers[vm.Customer] = true
+		} else {
+			saas++
+		}
+		if vm.Arrival == 0 {
+			atStart++
+		}
+	}
+	fmt.Fprintf(stdout, "trace             %s\n", path)
+	fmt.Fprintf(stdout, "recorded fleet    %d servers, %v window, seed %d\n", cfg.Servers, cfg.Duration, cfg.Seed)
+	fmt.Fprintf(stdout, "generation        occupancy %.2f, demand scale %.2f, SaaS fraction %.2f\n",
+		cfg.Occupancy, cfg.DemandScale, cfg.SaaSFraction)
+	fmt.Fprintf(stdout, "VMs               %d total: %d IaaS (%d customers), %d SaaS\n",
+		len(wl.VMs), iaas, len(customers), saas)
+	fmt.Fprintf(stdout, "arrivals          %d resident at t=0, %d during the window\n",
+		atStart, len(wl.VMs)-atStart)
+	fmt.Fprintf(stdout, "endpoints         %d", len(wl.Endpoints))
+	for i, ep := range wl.Endpoints {
+		sep := " (VM counts "
+		if i > 0 {
+			sep = "/"
+		}
+		fmt.Fprintf(stdout, "%s%d", sep, ep.NumVMs)
+	}
+	if len(wl.Endpoints) > 0 {
+		fmt.Fprint(stdout, ")")
+	}
+	fmt.Fprintln(stdout)
+
+	// Demand percentiles, sampled per minute over the recorded window: the
+	// aggregate SaaS token demand and the aggregate IaaS load the replay
+	// will drive.
+	window := cfg.Duration
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	minutes := int(window / time.Minute)
+	if minutes < 1 {
+		minutes = 1
+	}
+	saasTok := make([]float64, 0, minutes)
+	iaasLoad := make([]float64, 0, minutes)
+	for m := 0; m < minutes; m++ {
+		t := time.Duration(m) * time.Minute
+		tok := 0.0
+		for _, ep := range wl.Endpoints {
+			p, o := ep.DemandTokens(t, time.Minute)
+			tok += p + o
+		}
+		saasTok = append(saasTok, tok/1000)
+		load := 0.0
+		for _, vm := range wl.VMs {
+			if vm.Kind == trace.IaaS && vm.Active(t) {
+				load += vm.Load.At(t)
+			}
+		}
+		iaasLoad = append(iaasLoad, load)
+	}
+	fmt.Fprintf(stdout, "SaaS demand       p50 %.0f / p90 %.0f / p99 %.0f ktok/min aggregate\n",
+		percentile(saasTok, 50), percentile(saasTok, 90), percentile(saasTok, 99))
+	fmt.Fprintf(stdout, "IaaS load         p50 %.1f / p90 %.1f / p99 %.1f server-equivalents\n",
+		percentile(iaasLoad, 50), percentile(iaasLoad, 90), percentile(iaasLoad, 99))
+	return 0
+}
+
+// percentile returns the q-th percentile (nearest-rank) of vals.
+func percentile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := int(q/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// runReplay runs a replay spec — one whose workload.trace pins a recorded
+// CSV — and prints its campaign report to stdout.
+func runReplay(path string, parallel int, stdout, stderr io.Writer) int {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	if spec.Workload.Trace == "" {
+		fmt.Fprintf(stderr, "tapas-trace: spec %q does not set workload.trace; -replay needs a recorded trace (synthetic specs run with tapas-campaign)\n", spec.Name)
+		return 2
+	}
+	c, err := spec.Campaign(0)
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	start := time.Now()
+	res, err := c.Run(scenario.RunOptions{Parallel: parallel})
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	if _, err := res.WriteTo(stdout); err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "%-24s %3d runs in %v\n", spec.Name, c.Runs(), time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunModeErrors(t *testing.T) {
+	cases := map[string]struct {
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		"no mode":          {nil, 2, "exactly one of -export, -stats, -replay"},
+		"two modes":        {[]string{"-export", "a.csv", "-stats", "b.csv"}, 2, "exactly one of"},
+		"unknown flag":     {[]string{"-bogus"}, 2, "flag provided but not defined"},
+		"unknown preset":   {[]string{"-export", "a.csv", "-preset", "galactic"}, 2, `unknown preset "galactic"`},
+		"spec plus preset": {[]string{"-export", "a.csv", "-spec", "s.json", "-preset", "quick"}, 2, "mutually exclusive"},
+		"seed with spec":   {[]string{"-export", "a.csv", "-spec", "s.json", "-seed", "7"}, 2, "-seed conflicts with -spec"},
+		"vms with stats":   {[]string{"-stats", "a.csv", "-vms", "b.csv"}, 2, "-vms does not apply to -stats"},
+		"seed with replay": {[]string{"-replay", "a.json", "-seed", "7"}, 2, "-seed does not apply to -replay"},
+		"parallel export":  {[]string{"-export", "a.csv", "-parallel", "4"}, 2, "-parallel does not apply to -export"},
+		"missing stats":    {[]string{"-stats", "definitely-missing.csv"}, 1, "definitely-missing.csv"},
+		"missing replay":   {[]string{"-replay", "definitely-missing.json"}, 1, "definitely-missing.json"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(tc.args, &out, &errOut)
+			if code != tc.wantCode {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.wantCode, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not contain %q", errOut.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestExportStatsReplayPipeline drives the full CLI pipeline: record a quick
+// preset workload (with the flat VM table pair), inspect it, then replay it
+// through a spec that pins the recorded file.
+func TestExportStatsReplayPipeline(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "t.csv")
+	vmsPath := filepath.Join(dir, "t.vms.csv")
+
+	var out, errOut strings.Builder
+	code := run([]string{"-export", tracePath, "-vms", vmsPath, "-preset", "quick", "-seed", "42"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("export: exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "recorded") || !strings.Contains(errOut.String(), "flat VM table") {
+		t.Errorf("export stderr missing summary: %q", errOut.String())
+	}
+	for _, p := range []string{tracePath, vmsPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("export did not write %s: %v", p, err)
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-stats", tracePath}, &out, &errOut); code != 0 {
+		t.Fatalf("stats: exit code %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"recorded fleet    80 servers", "VMs", "endpoints", "SaaS demand", "IaaS load"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	replaySpec := `{
+	  "name": "replay-smoke",
+	  "layout": {"preset": "small"},
+	  "duration": "20m",
+	  "workload": {"trace": "t.csv"},
+	  "policies": ["baseline"],
+	  "report": {"format": "csv"}
+	}`
+	specPath := filepath.Join(dir, "replay.json")
+	if err := os.WriteFile(specPath, []byte(replaySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-replay", specPath, "-parallel", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("replay: exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "spec,policy,") {
+		t.Errorf("replay report missing CSV header:\n%s", out.String())
+	}
+}
+
+func TestReplayRejectsSyntheticSpec(t *testing.T) {
+	specPath := filepath.Join(t.TempDir(), "synthetic.json")
+	spec := `{"name": "synthetic", "layout": {"preset": "small"}, "duration": "5m"}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-replay", specPath}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "does not set workload.trace") {
+		t.Errorf("stderr %q does not explain the missing trace", errOut.String())
+	}
+}
+
+// TestExportFromSpec records the workload of a committed single-point spec
+// and rejects sweeping specs, whose grid has no single workload to record.
+func TestExportFromSpec(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.json")
+	spec := `{"name": "single", "layout": {"preset": "small"}, "duration": "10m"}`
+	if err := os.WriteFile(single, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "t.csv")
+	var out, errOut strings.Builder
+	if code := run([]string{"-export", tracePath, "-spec", single}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatal(err)
+	}
+
+	sweeping := filepath.Join("..", "..", "examples", "scenarios", "heatwave-sweep.json")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-export", tracePath, "-spec", sweeping}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "sweeps axes") {
+		t.Errorf("stderr %q does not explain the sweep rejection", errOut.String())
+	}
+}

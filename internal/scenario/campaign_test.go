@@ -72,7 +72,7 @@ func TestFig20SpecMatchesExperimentGolden(t *testing.T) {
 // the hard-coded runners cannot express) byte-for-byte, so spec files and
 // report rendering cannot rot silently.
 func TestCampaignGoldenReports(t *testing.T) {
-	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies"} {
+	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies", "replay-pinned"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			got := runCampaign(t, loadExample(t, name+".json"), 0)
@@ -100,11 +100,15 @@ func TestCampaignGoldenReports(t *testing.T) {
 // TestCampaignDeterministicAcrossWorkers proves reports are byte-identical
 // from sequential to saturated pools.
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
-	s := loadExample(t, "heatwave-sweep.json")
-	seq := runCampaign(t, s, 1)
-	par := runCampaign(t, s, 8)
-	if seq != par {
-		t.Errorf("report differs between -parallel 1 and 8:\n--- seq ---\n%s--- par ---\n%s", seq, par)
+	// replay-pinned covers the replay pipeline: recorded workloads shared
+	// read-only across the pool must stay byte-deterministic too.
+	for _, name := range []string{"heatwave-sweep", "replay-pinned"} {
+		s := loadExample(t, name+".json")
+		seq := runCampaign(t, s, 1)
+		par := runCampaign(t, s, 8)
+		if seq != par {
+			t.Errorf("%s: report differs between -parallel 1 and 8:\n--- seq ---\n%s--- par ---\n%s", name, seq, par)
+		}
 	}
 }
 

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParse pins the spec parser: no input panics, every rejection is a
+// wrapped "scenario:"-prefixed error, and accepted specs re-validate (Parse
+// and Validate cannot disagree).
+func FuzzParse(f *testing.F) {
+	// The committed example specs are the richest seeds: presets, overrides,
+	// axes, failures, custom regions, and the replay field.
+	examples, _ := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	for _, path := range examples {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name": "x"}`))
+	f.Add([]byte(`{"name": "x", "workload": {"trace": "t.csv"}}`))
+	f.Add([]byte(`{"name": "x", "workload": {"trace": "t.csv", "seed": 1}}`))
+	f.Add([]byte(`{"name": "x", "axes": [{"param": "seed", "values": [null]}]}`))
+	f.Add([]byte(`{"name": "x", "duration": "-5m"}`))
+	f.Add([]byte(`{"name": "x", "region": {"mean_c": "hot"}}`))
+	f.Add([]byte(`{"name": "x"} {"name": "y"}`))
+	f.Add([]byte(`{"unknown_field": 1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte("\x00\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			msg := err.Error()
+			if !strings.Contains(msg, "scenario:") {
+				t.Errorf("error %q lacks the scenario: wrapping", msg)
+			}
+			if strings.TrimSpace(msg) == "scenario:" {
+				t.Errorf("error %q is not descriptive", msg)
+			}
+			return
+		}
+		// Parse validated the spec; Validate on the same value must agree.
+		if err := s.Validate(); err != nil {
+			t.Errorf("accepted spec fails re-validation: %v", err)
+		}
+	})
+}

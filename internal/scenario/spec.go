@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -67,12 +68,22 @@ type LayoutSpec struct {
 
 // WorkloadSpec overrides workload generation. Absent fields keep the
 // preset's values (50/50 mix, generator defaults for occupancy and demand).
+//
+// Trace switches the spec from synthetic generation to replay: the named
+// workload CSV (recorded by tapas-trace -export / trace.WriteWorkloadCSV) is
+// loaded once and pinned across the whole campaign grid, so axes sweep
+// policies, climates, and failure schedules over the exact same workload.
+// Relative paths resolve against the spec file's directory. Trace is
+// mutually exclusive with every synthetic field of this struct and with
+// workload.* / seed sweep axes — a synthetic override on a replayed trace
+// would be silently ignored, so it is rejected instead.
 type WorkloadSpec struct {
 	SaaSFraction *float64 `json:"saas_fraction,omitempty"`
 	Endpoints    *int     `json:"endpoints,omitempty"`
 	Occupancy    *float64 `json:"occupancy,omitempty"`
 	DemandScale  *float64 `json:"demand_scale,omitempty"`
 	Seed         *uint64  `json:"seed,omitempty"`
+	Trace        string   `json:"trace,omitempty"`
 }
 
 // RegionSpec selects the deployment climate: either a preset name ("hot",
@@ -249,6 +260,11 @@ type Spec struct {
 	Policies []string   `json:"policies,omitempty"`
 	Axes     []AxisSpec `json:"axes,omitempty"`
 	Report   ReportSpec `json:"report,omitempty"`
+
+	// dir is the directory of the spec file (set by Load); relative
+	// workload.trace paths resolve against it, so committed specs can sit
+	// next to their recorded traces.
+	dir string
 }
 
 // Parse decodes and validates a spec. Unknown fields are rejected, so typos
@@ -282,6 +298,7 @@ func Load(path string) (*Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	s.dir = filepath.Dir(path)
 	return s, nil
 }
 
@@ -334,6 +351,32 @@ func (s *Spec) Validate() error {
 		}
 		if mix, _ := layout.ParseGPUModel(s.Layout.MixGPU); mix == base {
 			return fail("layout.mix_gpu %q equals the base generation; a mixed fleet needs two generations", s.Layout.MixGPU)
+		}
+	}
+	// A replayed trace pins the workload; any synthetic workload knob (or a
+	// sweep axis that would regenerate it) alongside would be silently
+	// ignored, so the combinations are rejected outright.
+	if s.Workload.Trace != "" {
+		synthetic := ""
+		switch {
+		case s.Workload.SaaSFraction != nil:
+			synthetic = "saas_fraction"
+		case s.Workload.Endpoints != nil:
+			synthetic = "endpoints"
+		case s.Workload.Occupancy != nil:
+			synthetic = "occupancy"
+		case s.Workload.DemandScale != nil:
+			synthetic = "demand_scale"
+		case s.Workload.Seed != nil:
+			synthetic = "seed"
+		}
+		if synthetic != "" {
+			return fail("workload.trace replays a recorded workload; synthetic field workload.%s cannot be set alongside it", synthetic)
+		}
+		for _, ax := range s.Axes {
+			if strings.HasPrefix(ax.Param, "workload.") || ax.Param == "seed" {
+				return fail("axis %q cannot be swept when workload.trace pins a recorded workload", ax.Param)
+			}
 		}
 	}
 	if f := s.Workload.SaaSFraction; f != nil && (*f < 0 || *f > 1) {
@@ -517,5 +560,19 @@ func (s *Spec) baseScenario(scale float64) (sim.Scenario, error) {
 		experiments.ScaleLarge(&sc, scale, s.StartOffset != nil, s.Duration != nil)
 	}
 	sc.Workload.Duration = sc.Duration
+
+	// Replay: load the recorded workload once; every grid point shares the
+	// parsed trace read-only, exactly like compiled synthetic workloads.
+	if s.Workload.Trace != "" {
+		path := s.Workload.Trace
+		if !filepath.IsAbs(path) && s.dir != "" {
+			path = filepath.Join(s.dir, path)
+		}
+		wl, err := trace.LoadWorkloadCSV(path)
+		if err != nil {
+			return sim.Scenario{}, fmt.Errorf("loading workload.trace: %w", err)
+		}
+		sc.Trace = wl
+	}
 	return sc, nil
 }

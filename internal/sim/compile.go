@@ -72,9 +72,7 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 	if sc.Oversubscribe > 0 {
 		dc.AddRacks(sc.Oversubscribe)
 	}
-	wc := sc.Workload
-	wc.Servers = len(dc.Servers)
-	w, err := trace.Generate(wc)
+	w, err := workloadFor(sc, len(dc.Servers))
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +82,7 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 		compiledFrom: sc,
 		DC:           dc,
 		Workload:     w,
-		Outside:      trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, wc.Seed^0xd00d),
+		Outside:      trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, w.Config.Seed^0xd00d),
 		Profile:      llm.BuildProfile(spec, llm.DefaultWorkload()),
 		Coeffs:       thermal.CompileCoeffs(dc.Servers, spec.GPUsPerServer),
 		srvRow:       make([]int32, len(dc.Servers)),
@@ -119,11 +117,77 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 	return cs, nil
 }
 
+// workloadFor materializes the workload a scenario simulates over a fleet of
+// the given size: the replayed trace when set (validated against the fleet),
+// otherwise a synthetic trace.Generate run.
+func workloadFor(sc Scenario, servers int) (*trace.Workload, error) {
+	if sc.Trace != nil {
+		if err := validateReplay(sc.Trace, servers, sc.Duration); err != nil {
+			return nil, err
+		}
+		return sc.Trace, nil
+	}
+	wc := sc.Workload
+	wc.Servers = servers
+	return trace.Generate(wc)
+}
+
+// validateReplay checks that a recorded workload fits the scenario it is
+// replayed under, so a stale trace fails loudly instead of silently
+// simulating a different cluster. The structural checks (dense IDs, sorted
+// arrivals, valid endpoint references) mirror trace.ReadWorkloadCSV for
+// traces built programmatically: the engine indexes VM and endpoint state
+// positionally and admits arrivals through a monotone cursor, so a shifted
+// ID or out-of-order arrival would corrupt the run instead of erroring.
+func validateReplay(w *trace.Workload, servers int, duration time.Duration) error {
+	if len(w.VMs) == 0 {
+		return fmt.Errorf("sim: replay trace has no VMs")
+	}
+	if w.Config.Servers != servers {
+		return fmt.Errorf("sim: replay trace was recorded for %d servers but the layout provides %d; replay against the layout (and oversubscription) the trace was recorded with", w.Config.Servers, servers)
+	}
+	if w.Config.Duration > 0 && duration > w.Config.Duration {
+		return fmt.Errorf("sim: scenario duration %v exceeds the replay trace's recorded window %v; re-record a longer trace or shorten the run", duration, w.Config.Duration)
+	}
+	for i, ep := range w.Endpoints {
+		if ep.ID != i {
+			return fmt.Errorf("sim: replay trace endpoint %d has id %d; endpoint ids must be dense 0..n-1 in order", i, ep.ID)
+		}
+	}
+	for i, vm := range w.VMs {
+		if vm.ID != i {
+			return fmt.Errorf("sim: replay trace VM %d has id %d; VM ids must be dense 0..n-1 in order", i, vm.ID)
+		}
+		if i > 0 && vm.Arrival < w.VMs[i-1].Arrival {
+			return fmt.Errorf("sim: replay trace VM %d arrives at %v, before VM %d at %v; VMs must be sorted by arrival", i, vm.Arrival, i-1, w.VMs[i-1].Arrival)
+		}
+		if vm.Kind == trace.SaaS && (vm.Endpoint < 0 || vm.Endpoint >= len(w.Endpoints)) {
+			return fmt.Errorf("sim: replay trace SaaS VM %d references undeclared endpoint %d", i, vm.Endpoint)
+		}
+	}
+	return nil
+}
+
+// GenerateWorkload materializes the workload a scenario would simulate —
+// the unit cmd/tapas-trace records. The fleet size comes from the scenario's
+// layout (including oversubscribed racks), exactly as Compile computes it,
+// so a recorded trace replays against the same scenario byte-identically.
+func GenerateWorkload(sc Scenario) (*trace.Workload, error) {
+	dc, err := layout.New(sc.Layout)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Oversubscribe > 0 {
+		dc.AddRacks(sc.Oversubscribe)
+	}
+	return workloadFor(sc, len(dc.Servers))
+}
+
 // Variant returns a shallow copy sharing every compiled artifact, with
 // mutate applied to the scenario. Only runtime-only fields may be changed:
 // Tick, Failures, RecordRowSeries, Observer (and shortening Duration).
-// Changing compile-relevant fields (Layout, Workload, Region, StartOffset,
-// Oversubscribe, lengthening Duration) requires a fresh Compile; Run rejects
+// Changing compile-relevant fields (Layout, Workload, Trace, Region,
+// StartOffset, Oversubscribe, lengthening Duration) requires a fresh Compile; Run rejects
 // such variants rather than simulate against stale artifacts.
 func (cs *CompiledScenario) Variant(mutate func(*Scenario)) *CompiledScenario {
 	copy := *cs
@@ -142,6 +206,8 @@ func (cs *CompiledScenario) checkRuntimeOnly() error {
 		return fmt.Errorf("sim: variant changed Layout; recompile the scenario")
 	case cur.Workload != base.Workload:
 		return fmt.Errorf("sim: variant changed Workload; recompile the scenario")
+	case cur.Trace != base.Trace:
+		return fmt.Errorf("sim: variant changed Trace; recompile the scenario")
 	case cur.Region != base.Region:
 		return fmt.Errorf("sim: variant changed Region; recompile the scenario")
 	case cur.StartOffset != base.StartOffset:

@@ -65,6 +65,15 @@ type FailureEvent struct {
 type Scenario struct {
 	Layout   layout.Config
 	Workload trace.WorkloadConfig
+	// Trace, when non-nil, replays a recorded workload instead of generating
+	// one: Compile uses it verbatim (shared read-only across runs, like
+	// generated workloads) and Workload is ignored. The trace must have been
+	// recorded against a fleet of the same size as Layout (plus
+	// Oversubscribe) provides — Compile rejects mismatches — so campaigns
+	// can sweep policies, climates, and failures over a pinned workload.
+	// Record/replay traces round-trip through trace.WriteWorkloadCSV /
+	// ReadWorkloadCSV (see cmd/tapas-trace).
+	Trace    *trace.Workload
 	Region   trace.Region
 	Duration time.Duration
 	Tick     time.Duration

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// quickReplayScenario is the 80-server 20-minute smoke setup the replay
+// round-trip tests simulate.
+func quickReplayScenario() Scenario {
+	sc := SmallScenario()
+	sc.Duration = 20 * time.Minute
+	sc.Workload.Duration = sc.Duration
+	return sc
+}
+
+// reportString folds every metric of a result into one full-precision string,
+// so "byte-identical report" comparisons cover the whole result surface.
+func reportString(r *Result) string {
+	return fmt.Sprintf("policy=%s ticks=%d maxT=%v p99T=%v peakW=%v p99W=%v throttle=%v powercap=%v svc=%v slo=%v qual=%v iaas=%v rejects=%d",
+		r.Policy, r.Ticks, r.MaxTemp(), r.PercentileMaxTemp(99), r.PeakPower(),
+		r.PercentilePeakPower(99), r.ThrottleFrac(), r.PowerCapFrac(),
+		r.ServiceRate(), r.SLOViolationRate(), r.AvgQuality(), r.IaaSPerfLoss(), r.PlacementRejects)
+}
+
+// TestReplayReproducesGeneratedRun is the record/replay contract at the sim
+// layer: exporting a generated workload to CSV and replaying the parsed copy
+// produces a report byte-identical to the original generated run, across a
+// grid of workload configs.
+func TestReplayReproducesGeneratedRun(t *testing.T) {
+	for _, saas := range []float64{0, 0.5, 1} {
+		for _, seed := range []uint64{7, 42} {
+			t.Run(fmt.Sprintf("saas=%v/seed=%d", saas, seed), func(t *testing.T) {
+				sc := quickReplayScenario()
+				sc.Workload.SaaSFraction = saas
+				sc.Workload.Seed = seed
+
+				genRes, err := Run(sc, naivePolicy{})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				wl, err := GenerateWorkload(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := trace.WriteWorkloadCSV(&buf, wl); err != nil {
+					t.Fatal(err)
+				}
+				parsed, err := trace.ReadWorkloadCSV(&buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(parsed, wl) {
+					t.Fatal("workload differs after CSV round trip")
+				}
+
+				replay := sc
+				replay.Trace = parsed
+				repRes, err := Run(replay, naivePolicy{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := reportString(repRes), reportString(genRes); got != want {
+					t.Errorf("replay report differs from generated run:\ngot:  %s\nwant: %s", got, want)
+				}
+				if !reflect.DeepEqual(repRes, genRes) {
+					t.Error("replay result not deeply equal to generated run")
+				}
+			})
+		}
+	}
+}
+
+// TestReplayValidation pins the loud-failure paths: fleet-size mismatch,
+// over-long runs, empty traces, and variant swaps.
+func TestReplayValidation(t *testing.T) {
+	sc := quickReplayScenario()
+	wl, err := GenerateWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("fleet mismatch", func(t *testing.T) {
+		bad := sc
+		bad.Trace = wl
+		bad.Oversubscribe = 0.4 // grows the fleet past the recorded 80 servers
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "recorded for") {
+			t.Errorf("got %v, want fleet-size mismatch error", err)
+		}
+	})
+	t.Run("duration beyond window", func(t *testing.T) {
+		bad := sc
+		bad.Trace = wl
+		bad.Duration = wl.Config.Duration + time.Hour
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "exceeds the replay trace") {
+			t.Errorf("got %v, want window error", err)
+		}
+	})
+	t.Run("empty trace", func(t *testing.T) {
+		bad := sc
+		bad.Trace = &trace.Workload{Config: wl.Config}
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "no VMs") {
+			t.Errorf("got %v, want empty-trace error", err)
+		}
+	})
+	t.Run("shifted VM ids", func(t *testing.T) {
+		// The engine indexes VM state positionally; a programmatic trace
+		// with ids not equal to their index must be rejected, not replayed
+		// into silent corruption (or a panic at expiry).
+		shifted := *wl
+		shifted.VMs = append([]trace.VMSpec(nil), wl.VMs...)
+		for i := range shifted.VMs {
+			shifted.VMs[i].ID = i + 1
+		}
+		bad := sc
+		bad.Trace = &shifted
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "VM ids must be dense") {
+			t.Errorf("got %v, want dense-id rejection", err)
+		}
+	})
+	t.Run("shifted endpoint ids", func(t *testing.T) {
+		shifted := *wl
+		shifted.Endpoints = append([]trace.EndpointSpec(nil), wl.Endpoints...)
+		for i := range shifted.Endpoints {
+			shifted.Endpoints[i].ID = i + 3
+		}
+		bad := sc
+		bad.Trace = &shifted
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "endpoint ids must be dense") {
+			t.Errorf("got %v, want dense-endpoint-id rejection", err)
+		}
+	})
+	t.Run("unsorted arrivals", func(t *testing.T) {
+		shuffled := *wl
+		shuffled.VMs = append([]trace.VMSpec(nil), wl.VMs...)
+		last := len(shuffled.VMs) - 1
+		shuffled.VMs[last].Arrival = -1 // sorts before every 0-arrival resident
+		bad := sc
+		bad.Trace = &shuffled
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "sorted by arrival") {
+			t.Errorf("got %v, want sorted-arrival rejection", err)
+		}
+	})
+	t.Run("variant swaps trace", func(t *testing.T) {
+		good := sc
+		good.Trace = wl
+		cs, err := Compile(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		other := *wl
+		v := cs.Variant(func(s *Scenario) { s.Trace = &other })
+		if _, err := v.Run(naivePolicy{}); err == nil || !strings.Contains(err.Error(), "variant changed Trace") {
+			t.Errorf("got %v, want trace-variant rejection", err)
+		}
+	})
+}

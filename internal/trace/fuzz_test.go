@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The fuzzers pin two contracts on every CSV reader: no input may panic, and
+// every rejection must surface as a wrapped, descriptive error (the "trace:"
+// prefix carries the package and, for row-level problems, the 1-based row).
+// Accepted inputs must additionally survive a write→read round trip, so the
+// readers and writers cannot drift apart.
+
+func seedWorkloadCSV(f *testing.F) {
+	w, err := Generate(WorkloadConfig{
+		Servers: 40, SaaSFraction: 0.5, Duration: time.Hour, Endpoints: 2, Seed: 9,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkloadCSV(&buf, w); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add([]byte(valid))
+	f.Add([]byte(strings.ReplaceAll(valid, "\n", "\r\n")))
+	f.Add([]byte(strings.TrimRight(valid, "\n")))
+	lines := strings.SplitAfter(valid, "\n")
+	f.Add([]byte(strings.Join(lines[:2], ""))) // version+config only
+	f.Add([]byte("tapas-workload,v1\n"))
+	f.Add([]byte("tapas-workload,v2\nconfig,1\n"))
+	f.Add([]byte("config,80,0.5,0,3,42,0.92,0.8\n")) // missing version line
+	f.Add([]byte(`"tapas-workload","v1"` + "\n"))
+	f.Add([]byte("tapas-workload,v1\nconfig,80,0.5,0,3,42,0.92,0.8\nvm,0,0,0,-1,0,1,0,0,0,0,0,0\nvm,0,0,0,-1,0,1,0,0,0,0,0,0\n"))
+	f.Add([]byte("tapas-workload,v1\nconfig,80,0.5,0,3,42,0.92,0.8\nvm,0,1,-1,7,0,1,0,0,0,0,0,0\n"))
+	f.Add([]byte("\x00\xff,broken\n"))
+	f.Add([]byte(""))
+}
+
+func checkFuzzErr(t *testing.T, err error) {
+	if err == nil {
+		return
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "trace:") {
+		t.Errorf("error %q lacks the trace: wrapping", msg)
+	}
+	if strings.TrimSpace(msg) == "trace:" {
+		t.Errorf("error %q is not descriptive", msg)
+	}
+}
+
+func FuzzReadWorkloadCSV(f *testing.F) {
+	seedWorkloadCSV(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wl, err := ReadWorkloadCSV(bytes.NewReader(data))
+		if err != nil {
+			checkFuzzErr(t, err)
+			return
+		}
+		// Accepted input must re-serialize and re-parse to the exact same
+		// workload (sound because non-finite floats are rejected above).
+		var buf bytes.Buffer
+		if err := WriteWorkloadCSV(&buf, wl); err != nil {
+			t.Fatalf("re-serializing accepted workload: %v", err)
+		}
+		again, err := ReadWorkloadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing re-serialized workload: %v", err)
+		}
+		if !reflect.DeepEqual(again, wl) {
+			t.Error("accepted workload changed across a write→read round trip")
+		}
+	})
+}
+
+func FuzzReadVMsCSV(f *testing.F) {
+	w, err := Generate(WorkloadConfig{
+		Servers: 30, SaaSFraction: 0.5, Duration: time.Hour, Endpoints: 2, Seed: 4,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVMsCSV(&buf, w.VMs); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add([]byte(valid))
+	f.Add([]byte(strings.ReplaceAll(valid, "\n", "\r\n")))
+	f.Add([]byte("id,kind,customer,endpoint,arrival_ns,lifetime_ns,base,amp,phase,weekend_dip,noise,seed\n"))
+	f.Add([]byte("id,kind,customer,endpoint,arrival_ns,lifetime_ns,base,amp,phase,weekend_dip,noise,seed\n1,9,0,0,0,0,0,0,0,0,0,0\n"))
+	f.Add([]byte("id,kind\n1,0\n"))
+	f.Add([]byte("\"unclosed\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vms, err := ReadVMsCSV(bytes.NewReader(data))
+		if err != nil {
+			checkFuzzErr(t, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteVMsCSV(&buf, vms); err != nil {
+			t.Fatalf("re-serializing accepted VMs: %v", err)
+		}
+		again, err := ReadVMsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing re-serialized VMs: %v", err)
+		}
+		if !reflect.DeepEqual(again, vms) {
+			t.Error("accepted VMs changed across a write→read round trip")
+		}
+	})
+}
+
+func FuzzReadRequestsCSV(f *testing.F) {
+	w, err := Generate(WorkloadConfig{
+		Servers: 30, SaaSFraction: 1, Duration: time.Hour, Endpoints: 1, Seed: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	reqs := w.Endpoints[0].Requests(0, time.Minute, 1)
+	var buf bytes.Buffer
+	if err := WriteRequestsCSV(&buf, reqs); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add([]byte(valid))
+	f.Add([]byte(strings.TrimRight(valid, "\n")))
+	f.Add([]byte("id,customer,prompt,output,arrival_ns\n1,2,3\n"))
+	f.Add([]byte("id,customer,prompt,output,arrival_ns\nx,2,3,4,5\n"))
+	f.Add([]byte("\xef\xbb\xbfid,customer,prompt,output,arrival_ns\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := ReadRequestsCSV(bytes.NewReader(data))
+		if err != nil {
+			checkFuzzErr(t, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteRequestsCSV(&buf, reqs); err != nil {
+			t.Fatalf("re-serializing accepted requests: %v", err)
+		}
+		again, err := ReadRequestsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parsing re-serialized requests: %v", err)
+		}
+		if !reflect.DeepEqual(again, reqs) {
+			t.Error("accepted requests changed across a write→read round trip")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"time"
 
@@ -46,58 +47,79 @@ func WriteVMsCSV(w io.Writer, vms []VMSpec) error {
 	return cw.Error()
 }
 
-// ReadVMsCSV parses a trace written by WriteVMsCSV.
+// ReadVMsCSV parses a trace written by WriteVMsCSV. The reader streams —
+// every row is validated as it arrives — and each error names the 1-based
+// CSV row it occurred on (the header is row 1, the first VM row is row 2).
+// Duplicate VM IDs are rejected: two VMs with one ID would silently collapse
+// into one server assignment when replayed.
 func ReadVMsCSV(r io.Reader) ([]VMSpec, error) {
 	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading CSV: %w", err)
-	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("trace: empty CSV")
-	}
 	const wantCols = 12
-	if len(records[0]) != wantCols {
-		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(records[0]), wantCols)
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("trace: empty VMs CSV")
 	}
-	out := make([]VMSpec, 0, len(records)-1)
-	for i, rec := range records[1:] {
-		parse := func(idx int) (float64, error) { return strconv.ParseFloat(rec[idx], 64) }
+	if err != nil {
+		return nil, fmt.Errorf("trace: VMs CSV row 1: %w", err)
+	}
+	if len(header) != wantCols {
+		return nil, fmt.Errorf("trace: VMs CSV row 1: header has %d columns, want %d", len(header), wantCols)
+	}
+	var out []VMSpec
+	seen := map[int]bool{}
+	row := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		row++
+		if err != nil {
+			return nil, fmt.Errorf("trace: VMs CSV row %d: %w", row, err)
+		}
 		id, err := strconv.Atoi(rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d id: %w", i+1, err)
+			return nil, fmt.Errorf("trace: VMs CSV row %d: id: %w", row, err)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("trace: VMs CSV row %d: duplicate VM id %d", row, id)
 		}
 		kind, err := strconv.Atoi(rec[1])
 		if err != nil || (kind != int(IaaS) && kind != int(SaaS)) {
-			return nil, fmt.Errorf("trace: row %d has invalid kind %q", i+1, rec[1])
+			return nil, fmt.Errorf("trace: VMs CSV row %d: invalid kind %q", row, rec[1])
 		}
 		customer, err := strconv.Atoi(rec[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d customer: %w", i+1, err)
+			return nil, fmt.Errorf("trace: VMs CSV row %d: customer: %w", row, err)
 		}
 		endpoint, err := strconv.Atoi(rec[3])
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d endpoint: %w", i+1, err)
+			return nil, fmt.Errorf("trace: VMs CSV row %d: endpoint: %w", row, err)
 		}
 		arrival, err := strconv.ParseInt(rec[4], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d arrival: %w", i+1, err)
+			return nil, fmt.Errorf("trace: VMs CSV row %d: arrival: %w", row, err)
 		}
 		lifetime, err := strconv.ParseInt(rec[5], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d lifetime: %w", i+1, err)
+			return nil, fmt.Errorf("trace: VMs CSV row %d: lifetime: %w", row, err)
 		}
 		var fields [5]float64
+		names := [5]string{"base", "amp", "phase", "weekend_dip", "noise"}
 		for k := 0; k < 5; k++ {
-			fields[k], err = parse(6 + k)
+			fields[k], err = strconv.ParseFloat(rec[6+k], 64)
 			if err != nil {
-				return nil, fmt.Errorf("trace: row %d load field %d: %w", i+1, k, err)
+				return nil, fmt.Errorf("trace: VMs CSV row %d: %s: %w", row, names[k], err)
+			}
+			if math.IsNaN(fields[k]) || math.IsInf(fields[k], 0) {
+				return nil, fmt.Errorf("trace: VMs CSV row %d: %s: non-finite value %q", row, names[k], rec[6+k])
 			}
 		}
 		seed, err := strconv.ParseUint(rec[11], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: row %d seed: %w", i+1, err)
+			return nil, fmt.Errorf("trace: VMs CSV row %d: seed: %w", row, err)
 		}
+		seen[id] = true
 		out = append(out, VMSpec{
 			ID:       id,
 			Kind:     VMKind(kind),
@@ -115,11 +137,11 @@ func ReadVMsCSV(r io.Reader) ([]VMSpec, error) {
 }
 
 // WriteRequestsCSV serializes a request stream (id,customer,prompt,output,
-// arrival_s) for replay in fine-grained experiments.
+// arrival_ns) for replay in fine-grained experiments.
 func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"id", "customer", "prompt", "output", "arrival_ns"}); err != nil {
-		return err
+		return fmt.Errorf("trace: writing requests header: %w", err)
 	}
 	for _, r := range reqs {
 		rec := []string{
@@ -130,47 +152,62 @@ func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
 			strconv.FormatInt(int64(r.Arrival), 10),
 		}
 		if err := cw.Write(rec); err != nil {
-			return err
+			return fmt.Errorf("trace: writing request %d: %w", r.ID, err)
 		}
 	}
 	cw.Flush()
-	return cw.Error()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing requests CSV: %w", err)
+	}
+	return nil
 }
 
-// ReadRequestsCSV parses a stream written by WriteRequestsCSV.
+// ReadRequestsCSV parses a stream written by WriteRequestsCSV. Like
+// ReadVMsCSV it streams, and errors carry the 1-based CSV row (header is
+// row 1).
 func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading requests CSV: %w", err)
-	}
-	if len(records) == 0 {
+	const wantCols = 5
+	header, err := cr.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("trace: empty requests CSV")
 	}
-	out := make([]llm.Request, 0, len(records)-1)
-	for i, rec := range records[1:] {
-		if len(rec) != 5 {
-			return nil, fmt.Errorf("trace: request row %d has %d columns, want 5", i+1, len(rec))
+	if err != nil {
+		return nil, fmt.Errorf("trace: requests CSV row 1: %w", err)
+	}
+	if len(header) != wantCols {
+		return nil, fmt.Errorf("trace: requests CSV row 1: header has %d columns, want %d", len(header), wantCols)
+	}
+	var out []llm.Request
+	row := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		row++
+		if err != nil {
+			return nil, fmt.Errorf("trace: requests CSV row %d: %w", row, err)
 		}
 		id, err := strconv.ParseInt(rec[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: request row %d id: %w", i+1, err)
+			return nil, fmt.Errorf("trace: requests CSV row %d: id: %w", row, err)
 		}
 		customer, err := strconv.Atoi(rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("trace: request row %d customer: %w", i+1, err)
+			return nil, fmt.Errorf("trace: requests CSV row %d: customer: %w", row, err)
 		}
 		prompt, err := strconv.Atoi(rec[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: request row %d prompt: %w", i+1, err)
+			return nil, fmt.Errorf("trace: requests CSV row %d: prompt: %w", row, err)
 		}
 		output, err := strconv.Atoi(rec[3])
 		if err != nil {
-			return nil, fmt.Errorf("trace: request row %d output: %w", i+1, err)
+			return nil, fmt.Errorf("trace: requests CSV row %d: output: %w", row, err)
 		}
 		arrival, err := strconv.ParseInt(rec[4], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: request row %d arrival: %w", i+1, err)
+			return nil, fmt.Errorf("trace: requests CSV row %d: arrival: %w", row, err)
 		}
 		out = append(out, llm.Request{
 			ID: id, Customer: customer, PromptTokens: prompt, OutputTokens: output,

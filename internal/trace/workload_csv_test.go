@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// genWorkload builds a small deterministic workload for round-trip tests.
+func genWorkload(t *testing.T, cfg WorkloadConfig) *Workload {
+	t.Helper()
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestWorkloadCSVRoundTrip sweeps a grid of generation configs and requires
+// the CSV round trip to reproduce the exact Workload struct — the property
+// behind byte-identical replay reports.
+func TestWorkloadCSVRoundTrip(t *testing.T) {
+	for _, saas := range []float64{0, 0.5, 1} {
+		for _, eps := range []int{1, 4} {
+			for _, seed := range []uint64{1, 42} {
+				name := fmt.Sprintf("saas=%v/eps=%d/seed=%d", saas, eps, seed)
+				t.Run(name, func(t *testing.T) {
+					w := genWorkload(t, WorkloadConfig{
+						Servers: 80, SaaSFraction: saas, Duration: 6 * time.Hour,
+						Endpoints: eps, Seed: seed,
+					})
+					var buf bytes.Buffer
+					if err := WriteWorkloadCSV(&buf, w); err != nil {
+						t.Fatal(err)
+					}
+					got, err := ReadWorkloadCSV(bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, w) {
+						t.Errorf("workload differs after round trip:\ngot config  %+v\nwant config %+v\ngot %d VMs / %d endpoints, want %d / %d",
+							got.Config, w.Config, len(got.VMs), len(got.Endpoints), len(w.VMs), len(w.Endpoints))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWorkloadCSVInputVariants proves the reader is robust to the CSV
+// variants real files arrive in: CRLF line endings, quoted fields, and a
+// missing trailing newline all parse to the identical workload.
+func TestWorkloadCSVInputVariants(t *testing.T) {
+	w := genWorkload(t, WorkloadConfig{
+		Servers: 60, SaaSFraction: 0.5, Duration: 3 * time.Hour, Endpoints: 2, Seed: 7,
+	})
+	var buf bytes.Buffer
+	if err := WriteWorkloadCSV(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	canonical := buf.String()
+
+	quoteAll := func(s string) string {
+		var sb strings.Builder
+		for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+			fields := strings.Split(line, ",")
+			for i, f := range fields {
+				fields[i] = `"` + f + `"`
+			}
+			sb.WriteString(strings.Join(fields, ","))
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	variants := map[string]string{
+		"crlf":                strings.ReplaceAll(canonical, "\n", "\r\n"),
+		"no trailing newline": strings.TrimRight(canonical, "\n"),
+		"quoted fields":       quoteAll(canonical),
+		"quoted crlf no trailing newline": strings.TrimRight(
+			strings.ReplaceAll(quoteAll(canonical), "\n", "\r\n"), "\r\n"),
+	}
+	for name, in := range variants {
+		t.Run(name, func(t *testing.T) {
+			got, err := ReadWorkloadCSV(strings.NewReader(in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, w) {
+				t.Error("workload differs from canonical parse")
+			}
+		})
+	}
+}
+
+func validWorkloadCSV(t *testing.T) string {
+	t.Helper()
+	w := genWorkload(t, WorkloadConfig{
+		Servers: 40, SaaSFraction: 0.5, Duration: time.Hour, Endpoints: 2, Seed: 3,
+	})
+	var buf bytes.Buffer
+	if err := WriteWorkloadCSV(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestReadWorkloadCSVErrors drives every incremental-validation path and
+// requires each error to name its 1-based row.
+func TestReadWorkloadCSVErrors(t *testing.T) {
+	valid := validWorkloadCSV(t)
+	lines := strings.Split(strings.TrimRight(valid, "\n"), "\n")
+	withLine := func(idx int, repl string) string {
+		out := append([]string(nil), lines...)
+		out[idx] = repl
+		return strings.Join(out, "\n") + "\n"
+	}
+	firstVM := 0
+	for i, l := range lines {
+		if strings.HasPrefix(l, "vm,") {
+			firstVM = i
+			break
+		}
+	}
+	cases := map[string]struct {
+		in      string
+		wantSub string
+	}{
+		"empty":              {"", "empty"},
+		"wrong magic":        {"nope,v1\n", "not a tapas-workload file"},
+		"bad version":        {"tapas-workload,v99\n", "unsupported version"},
+		"no config":          {"tapas-workload,v1\n", "no config record"},
+		"no vms":             {lines[0] + "\n" + lines[1] + "\n", "no VM records"},
+		"unknown record":     {withLine(2, "bogus,1,2"), "unknown record type"},
+		"duplicate config":   {withLine(2, lines[1]), "duplicate config record"},
+		"config field count": {withLine(1, "config,1,2,3"), "config record has 4 fields"},
+		"config bad servers": {withLine(1, "config,x,0.5,0,2,3,0.92,0.8"), "field 2 (servers)"},
+		"config neg servers": {withLine(1, "config,-4,0.5,0,2,3,0.92,0.8"), "non-positive server count"},
+		"config bad mix":     {withLine(1, "config,40,1.5,0,2,3,0.92,0.8"), "saas_fraction 1.5 out of [0,1]"},
+		"endpoint after vm": {strings.Join(append(append([]string(nil), lines[:firstVM+1]...), lines[2]), "\n") + "\n",
+			"endpoint record after VM records"},
+		"endpoint field count": {withLine(2, "endpoint,0,5"), "endpoint record has 3 fields"},
+		"endpoint bad id":      {withLine(2, "endpoint,x"+strings.TrimPrefix(lines[2], "endpoint,0")), "field 2 (id)"},
+		"duplicate endpoint":   {withLine(3, lines[2]), "endpoint ids must be dense"},
+		"endpoint shifted id":  {withLine(2, "endpoint,7"+strings.TrimPrefix(lines[2], "endpoint,0")), "endpoint id 7, want 0"},
+		"vm field count":       {withLine(firstVM, "vm,1,2"), "vm record has 3 fields"},
+		"vm bad kind":          {withLine(firstVM, "vm,0,7,0,-1,0,3600000000000,0,0,0,0,0,0"), "invalid VM kind 7"},
+		"vm duplicate id":      {withLine(firstVM+1, lines[firstVM]), "VM ids must be dense"},
+		"vm shifted id":        {withLine(firstVM, "vm,5,0,0,-1,0,3600000000000,0,0,0,0,0,0"), "VM id 5, want 0"},
+		"vm bad arrival":       {withLine(firstVM, "vm,0,0,0,-1,-5,3600000000000,0,0,0,0,0,0"), "negative VM arrival"},
+		"vm out of order":      {withLine(firstVM, "vm,0,0,0,-1,500,3600000000000,0,0,0,0,0,0"), "must be sorted by arrival"},
+		"vm bad lifetime":      {withLine(firstVM, "vm,0,0,0,-1,0,0,0,0,0,0,0,0"), "non-positive VM lifetime"},
+		"vm unknown endpoint":  {withLine(firstVM, "vm,0,1,-1,99,0,3600000000000,0,0,0,0,0,0"), "undeclared endpoint 99"},
+		"iaas vm endpoint":     {withLine(firstVM, "vm,0,0,3,2,0,3600000000000,0,0,0,0,0,0"), "IaaS VM 0 has endpoint 2, want -1"},
+		"nan load field":       {withLine(firstVM, "vm,0,0,0,-1,0,3600000000000,NaN,0,0,0,0,0"), "non-finite value"},
+		"inf rate field":       {withLine(2, "endpoint,0,5,1024,256,+Inf,0,0,0,0,1,2.5,100,3"), "non-finite value"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadWorkloadCSV(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), "trace:") {
+				t.Errorf("error %q is not wrapped with the trace: prefix", err)
+			}
+		})
+	}
+}
+
+// TestReadVMsCSVRowNumbersAndDuplicates pins the uniform row-number contract
+// of the flat VM reader (header is row 1) and duplicate-ID rejection.
+func TestReadVMsCSVRowNumbersAndDuplicates(t *testing.T) {
+	header := "id,kind,customer,endpoint,arrival_ns,lifetime_ns,base,amp,phase,weekend_dip,noise,seed\n"
+	vm := func(id int) string {
+		return fmt.Sprintf("%d,0,0,-1,0,1000,0.5,0.5,0,0,0,9\n", id)
+	}
+	// A bad field on the second data row must be reported as row 3.
+	bad := header + vm(1) + "x,0,0,-1,0,1000,0.5,0.5,0,0,0,9\n"
+	if _, err := ReadVMsCSV(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("bad id on second data row: got %v, want row 3", err)
+	}
+	dup := header + vm(5) + vm(5)
+	if _, err := ReadVMsCSV(strings.NewReader(dup)); err == nil || !strings.Contains(err.Error(), "duplicate VM id 5") {
+		t.Errorf("duplicate VM id: got %v", err)
+	}
+	short := header + "1,0,0\n"
+	if _, err := ReadVMsCSV(strings.NewReader(short)); err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("short row: got %v, want row 2", err)
+	}
+	reqBad := "id,customer,prompt,output,arrival_ns\n1,2,3,4,5\nx,2,3,4,5\n"
+	if _, err := ReadRequestsCSV(strings.NewReader(reqBad)); err == nil || !strings.Contains(err.Error(), "row 3") {
+		t.Errorf("bad request id: got %v, want row 3", err)
+	}
+}
+
+// TestSaveLoadWorkloadCSV exercises the file-level helpers.
+func TestSaveLoadWorkloadCSV(t *testing.T) {
+	w := genWorkload(t, WorkloadConfig{
+		Servers: 40, SaaSFraction: 0.4, Duration: 2 * time.Hour, Endpoints: 2, Seed: 11,
+	})
+	path := t.TempDir() + "/wl.csv"
+	if err := SaveWorkloadCSV(path, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWorkloadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Error("workload differs after save/load")
+	}
+	if _, err := LoadWorkloadCSV(path + ".missing"); err == nil {
+		t.Error("missing file must error")
+	}
+}

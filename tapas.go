@@ -48,6 +48,11 @@ type (
 	LayoutConfig = layout.Config
 	// WorkloadConfig parameterizes trace generation.
 	WorkloadConfig = trace.WorkloadConfig
+	// Workload is a materialized cluster workload — the VM arrival trace
+	// plus the SaaS endpoint set — and the unit of record/replay: export one
+	// with ExportTrace, pin it in a repository, and replay it via
+	// Scenario.Trace or the workload.trace spec field.
+	Workload = trace.Workload
 	// Region is a deployment climate preset.
 	Region = trace.Region
 )
@@ -110,6 +115,22 @@ func QuickScenario() Scenario {
 	sc.Workload.Duration = sc.Duration
 	return sc
 }
+
+// GenerateWorkload materializes the workload a scenario would simulate —
+// the replayed trace when Scenario.Trace is set, otherwise the synthetic
+// generator's output for the scenario's fleet (layout plus oversubscribed
+// racks), exactly as Compile builds it. Record it with ExportTrace and the
+// same scenario replays it byte-identically.
+func GenerateWorkload(sc Scenario) (*Workload, error) { return sim.GenerateWorkload(sc) }
+
+// ExportTrace writes a workload as a versioned record/replay CSV (see
+// cmd/tapas-trace and the trace CSV schema in the README). LoadTrace
+// inverts it losslessly.
+func ExportTrace(w io.Writer, wl *Workload) error { return trace.WriteWorkloadCSV(w, wl) }
+
+// LoadTrace reads a workload trace CSV recorded by ExportTrace or
+// tapas-trace -export; set the result as Scenario.Trace to replay it.
+func LoadTrace(path string) (*Workload, error) { return trace.LoadWorkloadCSV(path) }
 
 // ScenarioSpec is a declarative JSON scenario specification: one simulation
 // setup (layout scale and A100/H100 mix, workload mix, weather,

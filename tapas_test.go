@@ -1,6 +1,7 @@
 package tapas_test
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -62,6 +63,46 @@ func TestRunExperimentTable1(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "Frequency") {
 		t.Errorf("table1 output missing rows:\n%s", sb.String())
+	}
+}
+
+// TestRecordReplayPublicAPI drives the record/replay surface end to end:
+// generate, export, load, replay — and require the replayed run to match the
+// generated one exactly.
+func TestRecordReplayPublicAPI(t *testing.T) {
+	sc := tapas.QuickScenario()
+	wl, err := tapas.GenerateWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := tapas.ExportTrace(&buf, wl); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trace.csv"
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := tapas.LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := tapas.Run(sc, tapas.NewTAPAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := sc
+	replay.Trace = loaded
+	rep, err := tapas.Run(replay, tapas.NewTAPAS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.MaxTemp() != rep.MaxTemp() || gen.PeakPower() != rep.PeakPower() ||
+		gen.ServiceRate() != rep.ServiceRate() || gen.Ticks != rep.Ticks {
+		t.Errorf("replayed run differs from generated run:\ngen: maxT=%v peakW=%v svc=%v\nrep: maxT=%v peakW=%v svc=%v",
+			gen.MaxTemp(), gen.PeakPower(), gen.ServiceRate(),
+			rep.MaxTemp(), rep.PeakPower(), rep.ServiceRate())
 	}
 }
 
