@@ -1,22 +1,32 @@
-// Command tapas-trace records, inspects, and replays workload traces — the
-// record/replay pipeline that turns a synthetic (or captured) workload into
-// a pinned CSV artifact campaigns can sweep policies, climates, and failure
-// schedules over.
+// Command tapas-trace records, transforms, imports, inspects, and replays
+// workload traces — the record/replay pipeline that turns a synthetic (or
+// captured) workload into a pinned CSV artifact campaigns can sweep
+// policies, climates, and failure schedules over.
 //
 // Usage:
 //
 //	tapas-trace -export trace.csv -preset quick -seed 42
 //	tapas-trace -export trace.csv -spec examples/scenarios/heatwave-sweep.json
 //	tapas-trace -export trace.csv -vms trace.vms.csv -preset small
+//	tapas-trace -transform chain.json -in trace.csv -out scaled.csv
+//	tapas-trace -transform '[{"op":"demand_scale","factor":2}]' -in trace.csv -out scaled.csv
+//	tapas-trace -import-azure azure-llm.csv -out trace.csv -servers 80
 //	tapas-trace -stats examples/scenarios/pinned-small.trace.csv
 //	tapas-trace -replay examples/scenarios/replay-pinned.json
 //
 // -export materializes the workload a spec or preset would simulate and
 // writes the versioned workload CSV (with -vms, also the flat per-VM table
-// that spreadsheet tools ingest directly — the CSV pair). -stats summarizes
-// a recorded trace: fleet, kind mix, endpoints, demand percentiles. -replay
-// runs a spec whose workload.trace pins a recorded file and prints its
-// campaign report to stdout.
+// that spreadsheet tools ingest directly — the CSV pair). -transform applies
+// a replay-time transform chain (inline JSON or a chain file; relative
+// splice paths resolve against the chain file's directory) to a recorded
+// trace and re-exports it, so transformed traces are themselves pinnable
+// artifacts that replay byte-identically to applying the same chain in-spec.
+// -import-azure ingests an Azure-LLM-inference-style request log
+// (timestamp,endpoint,prompt_tokens,output_tokens) into a replayable trace
+// via binned demand reconstruction. -stats summarizes a recorded trace:
+// fleet, kind mix, endpoints, demand percentiles. -replay runs a spec whose
+// workload.trace pins a recorded file and prints its campaign report to
+// stdout.
 package main
 
 import (
@@ -24,12 +34,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	tapas "github.com/tapas-sim/tapas"
 	"github.com/tapas-sim/tapas/internal/scenario"
 	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
 
 func main() {
@@ -46,7 +59,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		vmsOut   = fs.String("vms", "", "with -export: also write the flat per-VM CSV table to this path")
 		specPath = fs.String("spec", "", "with -export: record the workload of this scenario spec (single grid point)")
 		preset   = fs.String("preset", "", "with -export: record a preset workload: quick | small | large (default quick)")
-		seed     = fs.Uint64("seed", 42, "with -export -preset: deterministic workload seed")
+		seed     = fs.Uint64("seed", 42, "with -export -preset / -import-azure: deterministic workload seed")
+		transf   = fs.String("transform", "", "transform: a transform-chain JSON array (inline) or the path of a chain file; applies to -in, re-exports to -out")
+		in       = fs.String("in", "", "with -transform: the recorded workload CSV to transform")
+		out      = fs.String("out", "", "with -transform / -import-azure: write the resulting workload CSV to this path")
+		azure    = fs.String("import-azure", "", "import: ingest an Azure-LLM-inference-style request CSV (timestamp,endpoint,prompt_tokens,output_tokens) into a replayable workload CSV at -out")
+		servers  = fs.Int("servers", 80, "with -import-azure: target cluster size the reconstructed workload replays against")
+		bin      = fs.Duration("bin", 10*time.Minute, "with -import-azure: demand-reconstruction bin width")
 		stats    = fs.String("stats", "", "inspect: summarize a recorded workload CSV")
 		replay   = fs.String("replay", "", "replay: run a scenario spec whose workload.trace pins a recorded CSV")
 		parallel = fs.Int("parallel", 0, "with -replay: worker pool size (0 selects GOMAXPROCS)")
@@ -56,13 +75,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	modes := 0
-	for _, m := range []string{*export, *stats, *replay} {
+	for _, m := range []string{*export, *transf, *azure, *stats, *replay} {
 		if m != "" {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(stderr, "tapas-trace: exactly one of -export, -stats, -replay is required (see -h)")
+		fmt.Fprintln(stderr, "tapas-trace: exactly one of -export, -transform, -import-azure, -stats, -replay is required (see -h)")
 		return 2
 	}
 
@@ -73,6 +92,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case *export != "":
 		mode, ok = "-export", map[string]bool{"export": true, "vms": true, "spec": true, "preset": true, "seed": true}
+	case *transf != "":
+		mode, ok = "-transform", map[string]bool{"transform": true, "in": true, "out": true}
+	case *azure != "":
+		mode, ok = "-import-azure", map[string]bool{"import-azure": true, "out": true, "servers": true, "bin": true, "seed": true}
 	case *stats != "":
 		mode, ok = "-stats", map[string]bool{"stats": true}
 	default:
@@ -98,6 +121,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return runExport(*export, *vmsOut, *specPath, *preset, *seed, stderr)
+	case *transf != "":
+		return runTransform(*transf, *in, *out, stderr)
+	case *azure != "":
+		return runImportAzure(*azure, *out, *servers, *bin, *seed, stderr)
 	case *stats != "":
 		return runStats(*stats, stdout, stderr)
 	default:
@@ -189,6 +216,82 @@ func runExport(out, vmsOut, specPath, preset string, seed uint64, stderr io.Writ
 		}
 		fmt.Fprintf(stderr, "wrote flat VM table to %s\n", vmsOut)
 	}
+	return 0
+}
+
+// runTransform applies a transform chain to a recorded trace and re-exports
+// the result — the CLI twin of the workload.transforms spec field, so a
+// transformed trace can be pinned as its own artifact. The chain is either
+// inline JSON (starts with "[") or the path of a chain file; relative splice
+// paths resolve against the chain file's directory (the working directory
+// for inline chains).
+func runTransform(chainArg, in, out string, stderr io.Writer) int {
+	if in == "" || out == "" {
+		fmt.Fprintln(stderr, "tapas-trace: -transform needs both -in (recorded trace) and -out (transformed trace)")
+		return 2
+	}
+	data := []byte(chainArg)
+	dir := "."
+	if !strings.HasPrefix(strings.TrimSpace(chainArg), "[") {
+		b, err := os.ReadFile(chainArg)
+		if err != nil {
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		data = b
+		dir = filepath.Dir(chainArg)
+	}
+	chain, err := transform.Parse(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	if len(chain) == 0 {
+		fmt.Fprintln(stderr, "tapas-trace: transform chain is empty; nothing to apply")
+		return 2
+	}
+	if err := chain.Load(dir); err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	wl, err := tapas.LoadTrace(in)
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	twl, err := chain.Apply(wl)
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	if err := trace.SaveWorkloadCSV(out, twl); err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "applied %d-step chain: %d VMs / %d endpoints over %v -> %d VMs / %d endpoints over %v, to %s\n",
+		len(chain), len(wl.VMs), len(wl.Endpoints), wl.Config.Duration,
+		len(twl.VMs), len(twl.Endpoints), twl.Config.Duration, out)
+	return 0
+}
+
+// runImportAzure ingests an Azure-LLM-inference-style request log and writes
+// the reconstructed replayable workload CSV.
+func runImportAzure(in, out string, servers int, bin time.Duration, seed uint64, stderr io.Writer) int {
+	if out == "" {
+		fmt.Fprintln(stderr, "tapas-trace: -import-azure needs -out (reconstructed trace path)")
+		return 2
+	}
+	wl, err := trace.LoadAzureLLMCSV(in, trace.AzureImportConfig{Servers: servers, Bin: bin, Seed: seed})
+	if err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	if err := trace.SaveWorkloadCSV(out, wl); err != nil {
+		fmt.Fprintln(stderr, "tapas-trace:", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "imported %d endpoints / %d SaaS VMs over %v (fleet %d servers) to %s\n",
+		len(wl.Endpoints), len(wl.VMs), wl.Config.Duration, wl.Config.Servers, out)
 	return 0
 }
 

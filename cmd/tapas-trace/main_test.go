@@ -13,7 +13,7 @@ func TestRunModeErrors(t *testing.T) {
 		wantCode int
 		wantErr  string
 	}{
-		"no mode":          {nil, 2, "exactly one of -export, -stats, -replay"},
+		"no mode":          {nil, 2, "exactly one of -export, -transform, -import-azure, -stats, -replay"},
 		"two modes":        {[]string{"-export", "a.csv", "-stats", "b.csv"}, 2, "exactly one of"},
 		"unknown flag":     {[]string{"-bogus"}, 2, "flag provided but not defined"},
 		"unknown preset":   {[]string{"-export", "a.csv", "-preset", "galactic"}, 2, `unknown preset "galactic"`},
@@ -24,6 +24,14 @@ func TestRunModeErrors(t *testing.T) {
 		"parallel export":  {[]string{"-export", "a.csv", "-parallel", "4"}, 2, "-parallel does not apply to -export"},
 		"missing stats":    {[]string{"-stats", "definitely-missing.csv"}, 1, "definitely-missing.csv"},
 		"missing replay":   {[]string{"-replay", "definitely-missing.json"}, 1, "definitely-missing.json"},
+		"transform no in":  {[]string{"-transform", "[]", "-out", "b.csv"}, 2, "-transform needs both -in"},
+		"transform no out": {[]string{"-transform", "[]", "-in", "a.csv"}, 2, "-transform needs both -in"},
+		"transform empty":  {[]string{"-transform", "[]", "-in", "a.csv", "-out", "b.csv"}, 2, "chain is empty"},
+		"transform preset": {[]string{"-transform", "[]", "-in", "a.csv", "-out", "b.csv", "-preset", "quick"}, 2, "-preset does not apply to -transform"},
+		"transform bad op": {[]string{"-transform", `[{"op":"warp"}]`, "-in", "a.csv", "-out", "b.csv"}, 1, `unknown op "warp"`},
+		"azure no out":     {[]string{"-import-azure", "a.csv"}, 2, "-import-azure needs -out"},
+		"azure missing":    {[]string{"-import-azure", "definitely-missing.csv", "-out", "b.csv"}, 1, "definitely-missing.csv"},
+		"azure parallel":   {[]string{"-import-azure", "a.csv", "-out", "b.csv", "-parallel", "2"}, 2, "-parallel does not apply to -import-azure"},
 	}
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -91,6 +99,86 @@ func TestExportStatsReplayPipeline(t *testing.T) {
 	}
 	if !strings.HasPrefix(out.String(), "spec,policy,") {
 		t.Errorf("replay report missing CSV header:\n%s", out.String())
+	}
+}
+
+// TestTransformReexportMatchesInSpecChain is the PR's acceptance criterion
+// at the CLI layer: applying a chain with `tapas-trace -transform` and
+// replaying the re-exported trace produces a campaign report byte-identical
+// to replaying the original trace with the same chain in-spec.
+func TestTransformReexportMatchesInSpecChain(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig.csv")
+	scaled := filepath.Join(dir, "scaled.csv")
+	chain := `[{"op": "demand_scale", "factor": 1.5, "seed": 7}, {"op": "jitter", "sigma": "90s", "seed": 3}]`
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-export", orig, "-preset", "quick", "-seed", "42"}, &out, &errOut); code != 0 {
+		t.Fatalf("export: %s", errOut.String())
+	}
+
+	// CLI path: apply the chain, re-export as a standalone artifact.
+	errOut.Reset()
+	if code := run([]string{"-transform", chain, "-in", orig, "-out", scaled}, &out, &errOut); code != 0 {
+		t.Fatalf("transform: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "applied 2-step chain") {
+		t.Errorf("transform summary missing: %q", errOut.String())
+	}
+
+	reportCfg := `"duration": "20m",
+	  "policies": ["baseline", "tapas"],
+	  "report": {"format": "csv", "metrics": ["max_temp_c", "peak_power_kw", "energy_mwh",
+	             "service_rate", "slo_violation_pct", "placement_rejects"]}`
+	preSpec := filepath.Join(dir, "pre.json")
+	inSpec := filepath.Join(dir, "in.json")
+	if err := os.WriteFile(preSpec, []byte(`{
+	  "name": "same", "layout": {"preset": "small"},
+	  "workload": {"trace": "scaled.csv"}, `+reportCfg+`}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inSpec, []byte(`{
+	  "name": "same", "layout": {"preset": "small"},
+	  "workload": {"trace": "orig.csv", "transforms": `+chain+`}, `+reportCfg+`}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	replayOut := func(spec string) string {
+		var so, se strings.Builder
+		if code := run([]string{"-replay", spec, "-parallel", "2"}, &so, &se); code != 0 {
+			t.Fatalf("replay %s: %s", spec, se.String())
+		}
+		return so.String()
+	}
+	pre, in := replayOut(preSpec), replayOut(inSpec)
+	if pre != in {
+		t.Errorf("re-exported trace and in-spec chain reports differ:\n--- re-exported ---\n%s--- in-spec ---\n%s", pre, in)
+	}
+}
+
+// TestImportAzurePipeline drives the committed fixture end to end: import,
+// archive, inspect.
+func TestImportAzurePipeline(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "azure.trace.csv")
+	fixture := filepath.Join("..", "..", "examples", "traces", "azure-llm-sample.csv")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-import-azure", fixture, "-out", outPath, "-servers", "40", "-seed", "5"}, &out, &errOut); code != 0 {
+		t.Fatalf("import: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "imported 3 endpoints") {
+		t.Errorf("import summary missing endpoint count: %q", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-stats", outPath}, &out, &errOut); code != 0 {
+		t.Fatalf("stats on import: %s", errOut.String())
+	}
+	for _, want := range []string{"recorded fleet    40 servers", "endpoints         3", "SaaS demand"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

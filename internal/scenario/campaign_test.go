@@ -72,7 +72,7 @@ func TestFig20SpecMatchesExperimentGolden(t *testing.T) {
 // the hard-coded runners cannot express) byte-for-byte, so spec files and
 // report rendering cannot rot silently.
 func TestCampaignGoldenReports(t *testing.T) {
-	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies", "replay-pinned"} {
+	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies", "replay-pinned", "replay-scaled"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			got := runCampaign(t, loadExample(t, name+".json"), 0)
@@ -102,7 +102,10 @@ func TestCampaignGoldenReports(t *testing.T) {
 func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	// replay-pinned covers the replay pipeline: recorded workloads shared
 	// read-only across the pool must stay byte-deterministic too.
-	for _, name := range []string{"heatwave-sweep", "replay-pinned"} {
+	// replay-scaled additionally pushes every grid point through the
+	// replay-time transform chain (same chain + seed ⇒ byte-identical
+	// output at any worker count).
+	for _, name := range []string{"heatwave-sweep", "replay-pinned", "replay-scaled"} {
 		s := loadExample(t, name+".json")
 		seq := runCampaign(t, s, 1)
 		par := runCampaign(t, s, 8)

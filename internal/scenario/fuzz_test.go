@@ -24,6 +24,11 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"name": "x"}`))
 	f.Add([]byte(`{"name": "x", "workload": {"trace": "t.csv"}}`))
 	f.Add([]byte(`{"name": "x", "workload": {"trace": "t.csv", "seed": 1}}`))
+	f.Add([]byte(`{"name": "x", "workload": {"trace": "t.csv", "transforms": [{"op": "demand_scale", "factor": 2}]}}`))
+	f.Add([]byte(`{"name": "x", "workload": {"transforms": [{"op": "jitter", "sigma": "90s"}]}}`))
+	f.Add([]byte(`{"name": "x", "workload": {"trace": "t.csv", "transforms": [{"op": "warp"}]}}`))
+	f.Add([]byte(`{"name": "x", "workload": {"trace": "t.csv", "transforms": [{"op": "time_warp", "factor": 1}]},
+	  "axes": [{"param": "transform.time_warp", "values": [0.5, 2]}]}`))
 	f.Add([]byte(`{"name": "x", "axes": [{"param": "seed", "values": [null]}]}`))
 	f.Add([]byte(`{"name": "x", "duration": "-5m"}`))
 	f.Add([]byte(`{"name": "x", "region": {"mean_c": "hot"}}`))

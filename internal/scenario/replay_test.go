@@ -5,9 +5,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/tapas-sim/tapas/internal/sim"
 	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
 
 // syntheticQuickSpec is the generated-workload side of the record/replay
@@ -119,6 +121,123 @@ func TestWorkloadTraceSpecValidation(t *testing.T) {
 	        "axes": [{"param": "region", "values": ["hot", "cool"]}]}`
 	if _, err := Parse([]byte(ok)); err != nil {
 		t.Errorf("region sweep over a trace must validate: %v", err)
+	}
+}
+
+// TestWorkloadTransformsSpecValidation pins the transforms field's
+// contracts: requires a trace, rejects malformed chains, and the transform.*
+// axes need exactly one matching step (and at most one axis per step).
+func TestWorkloadTransformsSpecValidation(t *testing.T) {
+	cases := map[string]struct {
+		json    string
+		wantSub string
+	}{
+		"transforms without trace": {
+			`{"name": "x", "workload": {"transforms": [{"op": "demand_scale", "factor": 2}]}}`,
+			"workload.transforms requires workload.trace",
+		},
+		"malformed chain": {
+			`{"name": "x", "workload": {"trace": "t.csv", "transforms": [{"op": "resample"}]}}`,
+			`unknown op "resample"`,
+		},
+		"invalid step params": {
+			`{"name": "x", "workload": {"trace": "t.csv", "transforms": [{"op": "time_warp", "factor": -1}]}}`,
+			"out of",
+		},
+		"axis without step": {
+			`{"name": "x", "workload": {"trace": "t.csv"},
+			  "axes": [{"param": "transform.demand_scale", "values": [1, 2]}]}`,
+			"needs exactly one demand_scale step",
+		},
+		"axis with two steps": {
+			`{"name": "x", "workload": {"trace": "t.csv",
+			  "transforms": [{"op": "demand_scale", "factor": 1}, {"op": "demand_scale", "factor": 2}]},
+			  "axes": [{"param": "transform.demand_scale", "values": [1, 2]}]}`,
+			"(found 2)",
+		},
+		"two axes one step": {
+			`{"name": "x", "workload": {"trace": "t.csv",
+			  "transforms": [{"op": "demand_scale", "factor": 1}]},
+			  "axes": [{"param": "transform.demand_scale", "values": [1, 2]},
+			           {"param": "transform.demand_scale.saas", "values": [1, 2]}]}`,
+			"both sweep the demand_scale step",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// A well-formed transform sweep over a pinned trace validates.
+	ok := `{"name": "x", "workload": {"trace": "t.csv",
+	        "transforms": [{"op": "demand_scale", "factor": 1}, {"op": "jitter", "sigma": "90s"}]},
+	        "axes": [{"param": "transform.demand_scale", "values": [0.5, 1, 2]}]}`
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Errorf("transform sweep must validate: %v", err)
+	}
+}
+
+// TestTransformSweepClonesChain: grid points must not alias the base
+// scenario's chain — each point carries its own cloned step values.
+func TestTransformSweepClonesChain(t *testing.T) {
+	spec, err := Parse([]byte(`{"name": "x", "layout": {"preset": "small"}, "duration": "20m",
+	  "workload": {"trace": "t.csv", "transforms": [{"op": "demand_scale", "factor": 1, "seed": 3}]},
+	  "axes": [{"param": "transform.demand_scale", "values": [0.5, 1, 2]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the trace at a real recorded workload.
+	dir := t.TempDir()
+	sc := sim.SmallScenario()
+	sc.Duration = 20 * time.Minute
+	sc.Workload.Duration = sc.Duration
+	wl, err := sim.GenerateWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.SaveWorkloadCSV(filepath.Join(dir, "t.csv"), wl); err != nil {
+		t.Fatal(err)
+	}
+	spec.dir = dir
+	c, err := spec.Campaign(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 3 {
+		t.Fatalf("grid has %d points, want 3", len(c.Points))
+	}
+	var factors []float64
+	for _, p := range c.Points {
+		ds := p.Scenario.TraceTransforms[0].(*transform.DemandScale)
+		factors = append(factors, ds.Factor)
+	}
+	if factors[0] != 0.5 || factors[1] != 1 || factors[2] != 2 {
+		t.Errorf("per-point factors %v, want [0.5 1 2]", factors)
+	}
+
+	// A swept 0 must fail loudly — DemandScale treats 0 as "unset = 1", so
+	// letting it through would run an unscaled point under a "0" label.
+	for _, param := range []string{"transform.demand_scale", "transform.demand_scale.saas", "transform.demand_scale.iaas"} {
+		zero := *spec
+		zero.Axes = []AxisSpec{{Param: param, Values: []AxisValue{{Num: 0, IsNum: true}}}}
+		if _, err := zero.Campaign(0); err == nil || !strings.Contains(err.Error(), "must be positive") {
+			t.Errorf("%s swept at 0: got %v, want positive-value rejection", param, err)
+		}
+	}
+	// All points share the same loaded trace pointer (read-only), not the
+	// same chain.
+	if c.Points[0].Scenario.Trace != c.Points[1].Scenario.Trace {
+		t.Error("grid points must share the loaded trace")
+	}
+	if &c.Points[0].Scenario.TraceTransforms[0] == &c.Points[1].Scenario.TraceTransforms[0] {
+		t.Error("grid points alias the same chain slice")
 	}
 }
 

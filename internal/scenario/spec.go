@@ -26,6 +26,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/sim"
 	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
 
 // Duration is a time.Duration that unmarshals from Go duration strings
@@ -77,13 +78,21 @@ type LayoutSpec struct {
 // mutually exclusive with every synthetic field of this struct and with
 // workload.* / seed sweep axes — a synthetic override on a replayed trace
 // would be silently ignored, so it is rejected instead.
+// Transforms is an optional replay-time transform chain (canonical JSON of
+// internal/trace/transform: time_warp, demand_scale, endpoint_filter,
+// jitter, splice) applied to the pinned trace inside sim.Compile. It
+// requires Trace — transforms reshape recorded workloads, synthetic ones
+// are reshaped by their generation fields — and unlocks the transform.*
+// sweep axes, so one pinned trace can drive a demand-scalability campaign.
+// Relative splice paths resolve against the spec file's directory.
 type WorkloadSpec struct {
-	SaaSFraction *float64 `json:"saas_fraction,omitempty"`
-	Endpoints    *int     `json:"endpoints,omitempty"`
-	Occupancy    *float64 `json:"occupancy,omitempty"`
-	DemandScale  *float64 `json:"demand_scale,omitempty"`
-	Seed         *uint64  `json:"seed,omitempty"`
-	Trace        string   `json:"trace,omitempty"`
+	SaaSFraction *float64        `json:"saas_fraction,omitempty"`
+	Endpoints    *int            `json:"endpoints,omitempty"`
+	Occupancy    *float64        `json:"occupancy,omitempty"`
+	DemandScale  *float64        `json:"demand_scale,omitempty"`
+	Seed         *uint64         `json:"seed,omitempty"`
+	Trace        string          `json:"trace,omitempty"`
+	Transforms   json.RawMessage `json:"transforms,omitempty"`
 }
 
 // RegionSpec selects the deployment climate: either a preset name ("hot",
@@ -353,6 +362,36 @@ func (s *Spec) Validate() error {
 			return fail("layout.mix_gpu %q equals the base generation; a mixed fleet needs two generations", s.Layout.MixGPU)
 		}
 	}
+	// Replay-time transforms reshape a recorded trace; without one there is
+	// nothing to transform (synthetic workloads are shaped by their
+	// generation fields), so the combination is rejected.
+	if len(s.Workload.Transforms) > 0 && s.Workload.Trace == "" {
+		return fail("workload.transforms requires workload.trace; transforms apply to recorded traces (synthetic workloads are shaped by the workload.* fields)")
+	}
+	chain, err := s.transformChain()
+	if err != nil {
+		return fail("workload.transforms: %v", err)
+	}
+	sweptOps := map[string]string{}
+	for _, ax := range s.Axes {
+		op, ok := transformAxisOps[ax.Param]
+		if !ok {
+			continue
+		}
+		if prev, dup := sweptOps[op]; dup {
+			return fail("axes %q and %q both sweep the %s step; they would overwrite each other", prev, ax.Param, op)
+		}
+		sweptOps[op] = ax.Param
+		n := 0
+		for _, step := range chain {
+			if step.Op() == op {
+				n++
+			}
+		}
+		if n != 1 {
+			return fail("axis %q needs exactly one %s step in workload.transforms to sweep (found %d)", ax.Param, op, n)
+		}
+	}
 	// A replayed trace pins the workload; any synthetic workload knob (or a
 	// sweep axis that would regenerate it) alongside would be silently
 	// ignored, so the combinations are rejected outright.
@@ -440,6 +479,16 @@ func (s *Spec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// transformChain parses the workload.transforms field (nil when absent).
+// Splice traces are not loaded here — Validate must not touch the
+// filesystem; baseScenario loads them against the spec directory.
+func (s *Spec) transformChain() (transform.Chain, error) {
+	if len(s.Workload.Transforms) == 0 {
+		return nil, nil
+	}
+	return transform.Parse(s.Workload.Transforms)
 }
 
 func (s *Spec) policyNames() []string {
@@ -573,6 +622,15 @@ func (s *Spec) baseScenario(scale float64) (sim.Scenario, error) {
 			return sim.Scenario{}, fmt.Errorf("loading workload.trace: %w", err)
 		}
 		sc.Trace = wl
+
+		chain, err := s.transformChain()
+		if err != nil {
+			return sim.Scenario{}, fmt.Errorf("workload.transforms: %w", err)
+		}
+		if err := chain.Load(s.dir); err != nil {
+			return sim.Scenario{}, fmt.Errorf("loading workload.transforms: %w", err)
+		}
+		sc.TraceTransforms = chain
 	}
 	return sc, nil
 }

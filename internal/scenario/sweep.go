@@ -7,7 +7,45 @@ import (
 
 	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/sim"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
+
+// transformAxisOps maps the transform sweep axes to the chain op each one
+// varies. Spec validation requires exactly one step of that op in
+// workload.transforms (and at most one axis per op), so the sweep has an
+// unambiguous target.
+var transformAxisOps = map[string]string{
+	"transform.demand_scale":      "demand_scale",
+	"transform.demand_scale.saas": "demand_scale",
+	"transform.demand_scale.iaas": "demand_scale",
+	"transform.time_warp":         "time_warp",
+}
+
+// setTransformFactor clones the point's chain (grid points share the base
+// scenario's slice) and applies set to the single step with the given op.
+func setTransformFactor(sc *sim.Scenario, op string, set func(transform.Step) error) error {
+	chain := sc.TraceTransforms.Clone()
+	n := 0
+	for _, s := range chain {
+		if s.Op() != op {
+			continue
+		}
+		n++
+		if err := set(s); err != nil {
+			return err
+		}
+	}
+	if n != 1 {
+		// Validate enforces this for spec-driven campaigns; programmatic
+		// sweeps get the same loud failure.
+		return fmt.Errorf("chain needs exactly one %s step to sweep (found %d)", op, n)
+	}
+	if err := chain.Validate(); err != nil {
+		return err
+	}
+	sc.TraceTransforms = chain
+	return nil
+}
 
 // axisSetters maps a sweepable parameter name to the mutation it applies to
 // a grid point's scenario. Axes apply to the fully built (overridden and
@@ -107,6 +145,72 @@ var axisSetters = map[string]func(*sim.Scenario, AxisValue) error{
 		}
 		sc.Layout.MixFraction = f
 		return nil
+	},
+	"transform.demand_scale": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("transform.demand_scale")
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("transform.demand_scale %v must be positive", f)
+		}
+		return setTransformFactor(sc, "demand_scale", func(s transform.Step) error {
+			ds := s.(*transform.DemandScale)
+			// The axis sweeps the uniform factor; per-kind multipliers in
+			// the spec's step are overridden per grid point.
+			ds.Factor, ds.IaaS, ds.SaaS = f, 0, 0
+			return nil
+		})
+	},
+	// The per-kind axes sweep one side of the demand — the SaaS axis is the
+	// paper's "demand intensity" knob (hotter requests on the same fleet),
+	// the IaaS axis the arrival-pressure knob (thinned/replicated VM
+	// population) — leaving the other side at the step's configured value.
+	"transform.demand_scale.saas": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("transform.demand_scale.saas")
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			// DemandScale treats 0 as "unset = 1"; a swept 0 would silently
+			// simulate unscaled demand under a "0" column label.
+			return fmt.Errorf("transform.demand_scale.saas %v must be positive", f)
+		}
+		return setTransformFactor(sc, "demand_scale", func(s transform.Step) error {
+			ds := s.(*transform.DemandScale)
+			if ds.Factor != 0 {
+				ds.IaaS, ds.Factor = ds.Factor, 0
+			}
+			ds.SaaS = f
+			return nil
+		})
+	},
+	"transform.demand_scale.iaas": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("transform.demand_scale.iaas")
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("transform.demand_scale.iaas %v must be positive", f)
+		}
+		return setTransformFactor(sc, "demand_scale", func(s transform.Step) error {
+			ds := s.(*transform.DemandScale)
+			if ds.Factor != 0 {
+				ds.SaaS, ds.Factor = ds.Factor, 0
+			}
+			ds.IaaS = f
+			return nil
+		})
+	},
+	"transform.time_warp": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("transform.time_warp")
+		if err != nil {
+			return err
+		}
+		return setTransformFactor(sc, "time_warp", func(s transform.Step) error {
+			s.(*transform.TimeWarp).Factor = f
+			return nil
+		})
 	},
 	"seed": func(sc *sim.Scenario, v AxisValue) error {
 		f, err := v.number("seed")

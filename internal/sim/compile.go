@@ -118,52 +118,45 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 }
 
 // workloadFor materializes the workload a scenario simulates over a fleet of
-// the given size: the replayed trace when set (validated against the fleet),
-// otherwise a synthetic trace.Generate run.
+// the given size: the replayed trace when set (transformed by the scenario's
+// chain, validated against the fleet), otherwise a synthetic trace.Generate
+// run.
 func workloadFor(sc Scenario, servers int) (*trace.Workload, error) {
-	if sc.Trace != nil {
-		if err := validateReplay(sc.Trace, servers, sc.Duration); err != nil {
-			return nil, err
+	if sc.Trace == nil {
+		if len(sc.TraceTransforms) > 0 {
+			return nil, fmt.Errorf("sim: TraceTransforms requires a replay Trace; transforms reshape recorded workloads (synthetic workloads are reshaped by their generation config)")
 		}
-		return sc.Trace, nil
+		wc := sc.Workload
+		wc.Servers = servers
+		return trace.Generate(wc)
 	}
-	wc := sc.Workload
-	wc.Servers = servers
-	return trace.Generate(wc)
+	w, err := sc.TraceTransforms.Apply(sc.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("sim: applying trace transforms: %w", err)
+	}
+	if err := validateReplay(w, servers, sc.Duration); err != nil {
+		return nil, err
+	}
+	return w, nil
 }
 
-// validateReplay checks that a recorded workload fits the scenario it is
-// replayed under, so a stale trace fails loudly instead of silently
-// simulating a different cluster. The structural checks (dense IDs, sorted
-// arrivals, valid endpoint references) mirror trace.ReadWorkloadCSV for
-// traces built programmatically: the engine indexes VM and endpoint state
-// positionally and admits arrivals through a monotone cursor, so a shifted
-// ID or out-of-order arrival would corrupt the run instead of erroring.
+// validateReplay checks that a recorded (and possibly transformed) workload
+// fits the scenario it is replayed under, so a stale trace fails loudly
+// instead of silently simulating a different cluster. The structural checks
+// (dense IDs, sorted arrivals, valid endpoint references —
+// trace.Workload.Validate) mirror trace.ReadWorkloadCSV for traces built
+// programmatically: the engine indexes VM and endpoint state positionally
+// and admits arrivals through a monotone cursor, so a shifted ID or
+// out-of-order arrival would corrupt the run instead of erroring.
 func validateReplay(w *trace.Workload, servers int, duration time.Duration) error {
-	if len(w.VMs) == 0 {
-		return fmt.Errorf("sim: replay trace has no VMs")
+	if err := w.Validate(); err != nil {
+		return fmt.Errorf("sim: replay trace invalid: %w", err)
 	}
 	if w.Config.Servers != servers {
 		return fmt.Errorf("sim: replay trace was recorded for %d servers but the layout provides %d; replay against the layout (and oversubscription) the trace was recorded with", w.Config.Servers, servers)
 	}
 	if w.Config.Duration > 0 && duration > w.Config.Duration {
 		return fmt.Errorf("sim: scenario duration %v exceeds the replay trace's recorded window %v; re-record a longer trace or shorten the run", duration, w.Config.Duration)
-	}
-	for i, ep := range w.Endpoints {
-		if ep.ID != i {
-			return fmt.Errorf("sim: replay trace endpoint %d has id %d; endpoint ids must be dense 0..n-1 in order", i, ep.ID)
-		}
-	}
-	for i, vm := range w.VMs {
-		if vm.ID != i {
-			return fmt.Errorf("sim: replay trace VM %d has id %d; VM ids must be dense 0..n-1 in order", i, vm.ID)
-		}
-		if i > 0 && vm.Arrival < w.VMs[i-1].Arrival {
-			return fmt.Errorf("sim: replay trace VM %d arrives at %v, before VM %d at %v; VMs must be sorted by arrival", i, vm.Arrival, i-1, w.VMs[i-1].Arrival)
-		}
-		if vm.Kind == trace.SaaS && (vm.Endpoint < 0 || vm.Endpoint >= len(w.Endpoints)) {
-			return fmt.Errorf("sim: replay trace SaaS VM %d references undeclared endpoint %d", i, vm.Endpoint)
-		}
 	}
 	return nil
 }
@@ -186,9 +179,10 @@ func GenerateWorkload(sc Scenario) (*trace.Workload, error) {
 // Variant returns a shallow copy sharing every compiled artifact, with
 // mutate applied to the scenario. Only runtime-only fields may be changed:
 // Tick, Failures, RecordRowSeries, Observer (and shortening Duration).
-// Changing compile-relevant fields (Layout, Workload, Trace, Region,
-// StartOffset, Oversubscribe, lengthening Duration) requires a fresh Compile; Run rejects
-// such variants rather than simulate against stale artifacts.
+// Changing compile-relevant fields (Layout, Workload, Trace, TraceTransforms,
+// Region, StartOffset, Oversubscribe, lengthening Duration) requires a fresh
+// Compile; Run rejects such variants rather than simulate against stale
+// artifacts.
 func (cs *CompiledScenario) Variant(mutate func(*Scenario)) *CompiledScenario {
 	copy := *cs
 	if mutate != nil {
@@ -208,6 +202,8 @@ func (cs *CompiledScenario) checkRuntimeOnly() error {
 		return fmt.Errorf("sim: variant changed Workload; recompile the scenario")
 	case cur.Trace != base.Trace:
 		return fmt.Errorf("sim: variant changed Trace; recompile the scenario")
+	case !cur.TraceTransforms.Equal(base.TraceTransforms):
+		return fmt.Errorf("sim: variant changed TraceTransforms; recompile the scenario")
 	case cur.Region != base.Region:
 		return fmt.Errorf("sim: variant changed Region; recompile the scenario")
 	case cur.StartOffset != base.StartOffset:

@@ -12,6 +12,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/cluster"
 	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
 
 // Policy is the scheduling surface TAPAS and the baselines implement.
@@ -73,10 +74,18 @@ type Scenario struct {
 	// can sweep policies, climates, and failures over a pinned workload.
 	// Record/replay traces round-trip through trace.WriteWorkloadCSV /
 	// ReadWorkloadCSV (see cmd/tapas-trace).
-	Trace    *trace.Workload
-	Region   trace.Region
-	Duration time.Duration
-	Tick     time.Duration
+	Trace *trace.Workload
+	// TraceTransforms is an optional replay-time transform chain applied to
+	// Trace inside Compile (time_warp, demand_scale, endpoint_filter,
+	// jitter, splice), turning one pinned trace into a family of scenarios —
+	// "the same trace, 2x hotter". Requires Trace; the transformed workload
+	// is validated exactly like a replayed one. Compile-relevant: variants
+	// changing the chain are rejected, and the chain (including step
+	// contents) must not be mutated after Compile.
+	TraceTransforms transform.Chain
+	Region          trace.Region
+	Duration        time.Duration
+	Tick            time.Duration
 	// StartOffset shifts the time-of-day phase of all load and weather
 	// patterns, letting short scenarios run at the diurnal peak. VM
 	// arrivals and lifetimes stay on the simulation clock.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
 
 // quickReplayScenario is the 80-server 20-minute smoke setup the replay
@@ -76,6 +77,33 @@ func TestReplayReproducesGeneratedRun(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestGenerateWorkloadAppliesTransforms: GenerateWorkload materializes the
+// workload exactly as Compile would, chain included — the contract behind
+// "tapas-trace -transform output replays byte-identically to the in-spec
+// chain".
+func TestGenerateWorkloadAppliesTransforms(t *testing.T) {
+	sc := quickReplayScenario()
+	wl, err := GenerateWorkload(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := transform.Chain{&transform.DemandScale{Factor: 1.5, Seed: 9}}
+	replay := sc
+	replay.Trace = wl
+	replay.TraceTransforms = chain
+	got, err := GenerateWorkload(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := chain.Apply(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("GenerateWorkload did not apply the transform chain like Compile")
 	}
 }
 
@@ -153,6 +181,52 @@ func TestReplayValidation(t *testing.T) {
 		_, err := Compile(bad)
 		if err == nil || !strings.Contains(err.Error(), "sorted by arrival") {
 			t.Errorf("got %v, want sorted-arrival rejection", err)
+		}
+	})
+	t.Run("transforms without trace", func(t *testing.T) {
+		bad := sc
+		bad.TraceTransforms = transform.Chain{&transform.DemandScale{Factor: 2}}
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "requires a replay Trace") {
+			t.Errorf("got %v, want transforms-without-trace rejection", err)
+		}
+	})
+	t.Run("invalid transform chain", func(t *testing.T) {
+		bad := sc
+		bad.Trace = wl
+		bad.TraceTransforms = transform.Chain{&transform.TimeWarp{Factor: -3}}
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "transform") {
+			t.Errorf("got %v, want chain validation error", err)
+		}
+	})
+	t.Run("warp shrinks window below duration", func(t *testing.T) {
+		bad := sc
+		bad.Trace = wl
+		bad.TraceTransforms = transform.Chain{&transform.TimeWarp{Factor: 0.25}}
+		_, err := Compile(bad)
+		if err == nil || !strings.Contains(err.Error(), "exceeds the replay trace") {
+			t.Errorf("got %v, want window error on the warped trace", err)
+		}
+	})
+	t.Run("variant swaps transform chain", func(t *testing.T) {
+		good := sc
+		good.Trace = wl
+		good.TraceTransforms = transform.Chain{&transform.DemandScale{Factor: 1}}
+		cs, err := Compile(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := cs.Variant(func(s *Scenario) {
+			s.TraceTransforms = transform.Chain{&transform.DemandScale{Factor: 2}}
+		})
+		if _, err := v.Run(naivePolicy{}); err == nil || !strings.Contains(err.Error(), "variant changed TraceTransforms") {
+			t.Errorf("got %v, want transform-variant rejection", err)
+		}
+		// Runtime-only variants over a transformed trace stay allowed.
+		ok := cs.Variant(func(s *Scenario) { s.Tick = 2 * time.Minute })
+		if _, err := ok.Run(naivePolicy{}); err != nil {
+			t.Errorf("runtime-only variant rejected: %v", err)
 		}
 	})
 	t.Run("variant swaps trace", func(t *testing.T) {

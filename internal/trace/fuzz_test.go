@@ -33,10 +33,16 @@ func seedWorkloadCSV(f *testing.F) {
 	f.Add([]byte(strings.Join(lines[:2], ""))) // version+config only
 	f.Add([]byte("tapas-workload,v1\n"))
 	f.Add([]byte("tapas-workload,v2\nconfig,1\n"))
+	f.Add([]byte("tapas-workload,v99\nconfig,80,0.5,0,3,42,0.92,0.8\n"))
 	f.Add([]byte("config,80,0.5,0,3,42,0.92,0.8\n")) // missing version line
 	f.Add([]byte(`"tapas-workload","v1"` + "\n"))
+	// v1 files (no time_scale column) stay parseable; v1 rows under a v2
+	// version line (and vice versa) are field-count errors.
 	f.Add([]byte("tapas-workload,v1\nconfig,80,0.5,0,3,42,0.92,0.8\nvm,0,0,0,-1,0,1,0,0,0,0,0,0\nvm,0,0,0,-1,0,1,0,0,0,0,0,0\n"))
 	f.Add([]byte("tapas-workload,v1\nconfig,80,0.5,0,3,42,0.92,0.8\nvm,0,1,-1,7,0,1,0,0,0,0,0,0\n"))
+	f.Add([]byte("tapas-workload,v1\nconfig,80,0.5,3600000000000,1,42,0.92,0.8\nendpoint,0,5,1024,256,0.25,0.65,1,0.25,0.05,42,2.5,100,7\nvm,0,1,-1,0,0,3600000000000,0,0,0,0,0,0\n"))
+	f.Add([]byte("tapas-workload,v2\nconfig,80,0.5,0,3,42,0.92,0.8\nvm,0,0,0,-1,0,1,0,0,0,0,0,0\n"))
+	f.Add([]byte("tapas-workload,v2\nconfig,80,0.5,0,3,42,0.92,0.8\nvm,0,0,0,-1,0,1,0,0,0,0,0,0,0.5\n"))
 	f.Add([]byte("\x00\xff,broken\n"))
 	f.Add([]byte(""))
 }
@@ -74,6 +80,54 @@ func FuzzReadWorkloadCSV(f *testing.F) {
 		}
 		if !reflect.DeepEqual(again, wl) {
 			t.Error("accepted workload changed across a write→read round trip")
+		}
+	})
+}
+
+// FuzzReadAzureLLMCSV pins the Azure-style request-log importer: no input
+// panics, every rejection is a wrapped descriptive "trace:" error, and every
+// accepted input reconstructs a structurally valid workload that survives
+// the workload-CSV archive round trip exactly.
+func FuzzReadAzureLLMCSV(f *testing.F) {
+	const header = "timestamp,endpoint,prompt_tokens,output_tokens\n"
+	seeds := []string{
+		header + "0,chat,512,128\n30.5,chat,1024,256\n61,code,2048,64\n",
+		header + "0,chat,512,128\n",
+		header + "2023-11-16T18:01:51Z,chat,512,128\n2023-11-16T18:02:12Z,code,900,40\n",
+		header + "2023-11-16 18:01:51.1627340,chat,512,128\n2023-11-16 18:03:00.5,chat,700,90\n",
+		header + "10,chat,512,128\n5,chat,1024,256\n",                  // unsorted
+		header + "0,chat,-5,128\n",                                     // negative tokens
+		header + "0,,512,128\n",                                        // empty endpoint
+		header + "1e18,chat,512,128\n",                                 // beyond the window
+		header + "0,chat,512,128\n2023-11-16T18:01:51Z,chat,512,128\n", // mixed modes
+		header,
+		"time,endpoint,prompt_tokens,output_tokens\n0,chat,1,1\n",
+		"",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	cfg := AzureImportConfig{Servers: 40, Seed: 7}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wl, err := ReadAzureLLMCSV(bytes.NewReader(data), cfg)
+		if err != nil {
+			checkFuzzErr(t, err)
+			return
+		}
+		if err := wl.Validate(); err != nil {
+			t.Fatalf("accepted import is structurally invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkloadCSV(&buf, wl); err != nil {
+			t.Fatalf("re-serializing imported workload: %v", err)
+		}
+		again, err := ReadWorkloadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing re-serialized import: %v", err)
+		}
+		if !reflect.DeepEqual(again, wl) {
+			t.Error("imported workload changed across a write→read round trip")
 		}
 	})
 }

@@ -15,10 +15,19 @@ type LoadPattern struct {
 	WeekendDip float64 // multiplicative dip applied on days 6 and 7
 	NoiseAmp   float64 // high-frequency jitter amplitude
 	Seed       uint64
+	// TimeScale stretches the pattern's timeline: At(t) evaluates the
+	// un-scaled pattern at t/TimeScale, so a pattern with TimeScale 2 plays
+	// its diurnal cycle over 48 hours. 0 means 1 (unscaled) — the zero value
+	// keeps every pre-transform trace byte-compatible. Set by the time_warp
+	// trace transform; the synthetic generator always leaves it 0.
+	TimeScale float64
 }
 
 // At evaluates the pattern at time t, clamped to [0, 1].
 func (p LoadPattern) At(t time.Duration) float64 {
+	if p.TimeScale > 0 && p.TimeScale != 1 {
+		t = time.Duration(math.Round(float64(t) / p.TimeScale))
+	}
 	hours := t.Hours()
 	// Peak mid-afternoon by default; PhaseHours shifts per customer.
 	daily := math.Sin(2 * math.Pi * (hours - 9 - p.PhaseHours) / 24)
@@ -32,8 +41,8 @@ func (p LoadPattern) At(t time.Duration) float64 {
 	if p.NoiseAmp > 0 {
 		bucket := uint64(t / (10 * time.Minute))
 		frac := float64(t%(10*time.Minute)) / float64(10*time.Minute)
-		n0 := hashUnit(p.Seed, bucket)
-		n1 := hashUnit(p.Seed, bucket+1)
+		n0 := HashUnit(p.Seed, bucket)
+		n1 := HashUnit(p.Seed, bucket+1)
 		v += p.NoiseAmp * ((n0*(1-frac) + n1*frac) - 0.5) * 2
 	}
 	if v < 0 {
@@ -45,8 +54,11 @@ func (p LoadPattern) At(t time.Duration) float64 {
 	return v
 }
 
-// hashUnit maps (seed, x) to a uniform value in [0,1) via splitmix64.
-func hashUnit(seed, x uint64) float64 {
+// HashUnit maps (seed, x) to a uniform value in [0,1) via splitmix64 — the
+// shared deterministic-noise primitive of the generator and the replay-time
+// transforms (internal/trace/transform), which must stay on one definition
+// so "same seed, same trace" holds across both.
+func HashUnit(seed, x uint64) float64 {
 	z := seed + x*0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

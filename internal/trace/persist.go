@@ -136,14 +136,44 @@ func ReadVMsCSV(r io.Reader) ([]VMSpec, error) {
 	return out, nil
 }
 
+// validateRequest checks one request against the invariants fine-grained
+// replay relies on: non-negative token counts and arrival, and arrivals
+// non-decreasing (replay engines consume the stream through a monotone
+// cursor, like VM arrivals). Shared by the writer and the reader so the two
+// cannot drift: anything the writer archives, the reader accepts.
+func validateRequest(r llm.Request, prev time.Duration) error {
+	if r.PromptTokens < 0 || r.OutputTokens < 0 {
+		return fmt.Errorf("negative token count (%d, %d)", r.PromptTokens, r.OutputTokens)
+	}
+	if r.Arrival < 0 {
+		return fmt.Errorf("negative arrival %v", r.Arrival)
+	}
+	if r.Arrival < prev {
+		return fmt.Errorf("arrival %v before the previous request's %v (requests must be sorted by arrival)", r.Arrival, prev)
+	}
+	return nil
+}
+
 // WriteRequestsCSV serializes a request stream (id,customer,prompt,output,
-// arrival_ns) for replay in fine-grained experiments.
+// arrival_ns) for replay in fine-grained experiments. Requests are validated
+// as they are written — negative counts or out-of-order arrivals would
+// archive a stream the reader (rightly) refuses to load back.
 func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"id", "customer", "prompt", "output", "arrival_ns"}); err != nil {
 		return fmt.Errorf("trace: writing requests header: %w", err)
 	}
-	for _, r := range reqs {
+	var prev time.Duration
+	seen := make(map[int64]bool, len(reqs))
+	for i, r := range reqs {
+		if err := validateRequest(r, prev); err != nil {
+			return fmt.Errorf("trace: writing request %d (id %d): %w", i, r.ID, err)
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("trace: writing request %d: duplicate request id %d", i, r.ID)
+		}
+		seen[r.ID] = true
+		prev = r.Arrival
 		rec := []string{
 			strconv.FormatInt(r.ID, 10),
 			strconv.Itoa(r.Customer),
@@ -163,8 +193,10 @@ func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
 }
 
 // ReadRequestsCSV parses a stream written by WriteRequestsCSV. Like
-// ReadVMsCSV it streams, and errors carry the 1-based CSV row (header is
-// row 1).
+// ReadVMsCSV it streams — every row is validated as it arrives (header
+// names, field parses, duplicate IDs, non-negative counts, sorted arrivals)
+// rather than after materializing the slice — and errors carry the 1-based
+// CSV row (the header is row 1).
 func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 	cr := csv.NewReader(r)
 	const wantCols = 5
@@ -178,7 +210,14 @@ func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 	if len(header) != wantCols {
 		return nil, fmt.Errorf("trace: requests CSV row 1: header has %d columns, want %d", len(header), wantCols)
 	}
+	for i, name := range [wantCols]string{"id", "customer", "prompt", "output", "arrival_ns"} {
+		if header[i] != name {
+			return nil, fmt.Errorf("trace: requests CSV row 1: column %d is %q, want %q", i+1, header[i], name)
+		}
+	}
 	var out []llm.Request
+	seen := map[int64]bool{}
+	var prev time.Duration
 	row := 1
 	for {
 		rec, err := cr.Read()
@@ -192,6 +231,9 @@ func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 		id, err := strconv.ParseInt(rec[0], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: requests CSV row %d: id: %w", row, err)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("trace: requests CSV row %d: duplicate request id %d", row, id)
 		}
 		customer, err := strconv.Atoi(rec[1])
 		if err != nil {
@@ -209,10 +251,16 @@ func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: requests CSV row %d: arrival: %w", row, err)
 		}
-		out = append(out, llm.Request{
+		req := llm.Request{
 			ID: id, Customer: customer, PromptTokens: prompt, OutputTokens: output,
 			Arrival: time.Duration(arrival),
-		})
+		}
+		if err := validateRequest(req, prev); err != nil {
+			return nil, fmt.Errorf("trace: requests CSV row %d: %w", row, err)
+		}
+		seen[id] = true
+		prev = req.Arrival
+		out = append(out, req)
 	}
 	return out, nil
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/tapas-sim/tapas/internal/llm"
 )
 
 func TestVMsCSVRoundTrip(t *testing.T) {
@@ -86,15 +88,68 @@ func TestRequestsCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadRequestsCSVErrors(t *testing.T) {
-	if _, err := ReadRequestsCSV(strings.NewReader("")); err == nil {
-		t.Error("empty input must error")
+	const header = "id,customer,prompt,output,arrival_ns\n"
+	cases := map[string]struct {
+		in      string
+		wantSub string
+	}{
+		"empty":            {"", "empty requests CSV"},
+		"short row":        {header + "1,2,3\n", "row 2"},
+		"bad id":           {header + "x,2,3,4,5\n", "row 2: id"},
+		"bad customer":     {header + "1,x,3,4,5\n", "row 2: customer"},
+		"bad prompt":       {header + "1,2,x,4,5\n", "row 2: prompt"},
+		"bad output":       {header + "1,2,3,x,5\n", "row 2: output"},
+		"bad arrival":      {header + "1,2,3,4,x\n", "row 2: arrival"},
+		"wrong header":     {"a,b,c,d,e\n", `column 1 is "a", want "id"`},
+		"header count":     {"id,customer\n", "header has 2 columns, want 5"},
+		"duplicate id":     {header + "1,2,3,4,5\n1,2,3,4,6\n", "row 3: duplicate request id 1"},
+		"negative prompt":  {header + "1,2,-3,4,5\n", "row 2: negative token count"},
+		"negative output":  {header + "1,2,3,-4,5\n", "row 2: negative token count"},
+		"negative arrival": {header + "1,2,3,4,-5\n", "row 2: negative arrival"},
+		"unsorted arrival": {header + "1,2,3,4,900\n2,2,3,4,100\n", "row 3: arrival 100ns before the previous request's 900ns"},
 	}
-	bad := "id,customer,prompt,output,arrival_ns\n1,2,3\n"
-	if _, err := ReadRequestsCSV(strings.NewReader(bad)); err == nil {
-		t.Error("short row must error")
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadRequestsCSV(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), "trace:") {
+				t.Errorf("error %q is not wrapped with the trace: prefix", err)
+			}
+		})
 	}
-	bad = "id,customer,prompt,output,arrival_ns\nx,2,3,4,5\n"
-	if _, err := ReadRequestsCSV(strings.NewReader(bad)); err == nil {
-		t.Error("bad id must error")
+}
+
+// TestWriteRequestsCSVRejectsInvalid pins the writer side of the shared
+// validation: a stream the reader would refuse is rejected at write time
+// instead of being archived.
+func TestWriteRequestsCSVRejectsInvalid(t *testing.T) {
+	cases := map[string][]llm.Request{
+		"negative prompt":  {{ID: 1, PromptTokens: -1, OutputTokens: 1}},
+		"negative arrival": {{ID: 1, PromptTokens: 1, OutputTokens: 1, Arrival: -time.Second}},
+		"unsorted": {
+			{ID: 1, PromptTokens: 1, OutputTokens: 1, Arrival: time.Minute},
+			{ID: 2, PromptTokens: 1, OutputTokens: 1, Arrival: time.Second},
+		},
+		"duplicate id": {
+			{ID: 1, PromptTokens: 1, OutputTokens: 1, Arrival: time.Second},
+			{ID: 1, PromptTokens: 1, OutputTokens: 1, Arrival: time.Minute},
+		},
+	}
+	for name, reqs := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := WriteRequestsCSV(&buf, reqs)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), "trace:") {
+				t.Errorf("error %q is not wrapped with the trace: prefix", err)
+			}
+		})
 	}
 }

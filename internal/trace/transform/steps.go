@@ -1,0 +1,489 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// Factor bounds shared by the scaling steps: wide enough for any experiment
+// the paper runs (it sweeps demand up to a few multiples of recorded load),
+// tight enough that a fuzzer or typo cannot request a million-fold
+// replication.
+const (
+	minWarpFactor  = 0.01
+	maxWarpFactor  = 100
+	maxScaleFactor = 64
+	maxJitterSigma = Dur(30 * 24 * time.Hour)
+	maxSpliceShift = Dur(10 * 365 * 24 * time.Hour)
+)
+
+// scaleDur scales a duration by a float factor with round-to-nearest.
+func scaleDur(d time.Duration, f float64) time.Duration {
+	return time.Duration(math.Round(float64(d) * f))
+}
+
+// effTimeScale returns the effective time scale of a pattern (0 means 1).
+func effTimeScale(ts float64) float64 {
+	if ts <= 0 {
+		return 1
+	}
+	return ts
+}
+
+// shallowCopy clones the workload envelope with fresh top-level slices, so a
+// step can edit entries without touching its input.
+func shallowCopy(w *trace.Workload) *trace.Workload {
+	out := &trace.Workload{Config: w.Config}
+	out.VMs = append([]trace.VMSpec(nil), w.VMs...)
+	out.Endpoints = append([]trace.EndpointSpec(nil), w.Endpoints...)
+	return out
+}
+
+// renumberVMs assigns dense IDs in slice order.
+func renumberVMs(vms []trace.VMSpec) {
+	for i := range vms {
+		vms[i].ID = i
+	}
+}
+
+// TimeWarp compresses (factor < 1) or stretches (factor > 1) the trace
+// window: VM arrivals and lifetimes scale by the factor, and every load
+// pattern's timeline (endpoint demand shapes and IaaS load shapes) is
+// re-based so the same demand history plays out over the new window. A
+// 24h trace warped by 0.5 delivers its full diurnal cycle in 12h — the
+// paper's time-compressed stress replays.
+type TimeWarp struct {
+	Factor float64 `json:"factor"`
+}
+
+// Op implements Step.
+func (t *TimeWarp) Op() string { return "time_warp" }
+
+// Validate implements Step.
+func (t *TimeWarp) Validate() error {
+	if math.IsNaN(t.Factor) || t.Factor < minWarpFactor || t.Factor > maxWarpFactor {
+		return fmt.Errorf("factor %v out of [%v, %v]", t.Factor, minWarpFactor, maxWarpFactor)
+	}
+	return nil
+}
+
+// Clone implements Step.
+func (t *TimeWarp) Clone() Step { c := *t; return &c }
+
+// Apply implements Step.
+func (t *TimeWarp) Apply(w *trace.Workload) (*trace.Workload, error) {
+	if t.Factor == 1 {
+		return w, nil // exact identity, even for pathological durations
+	}
+	out := shallowCopy(w)
+	out.Config.Duration = scaleDur(w.Config.Duration, t.Factor)
+	for i := range out.VMs {
+		vm := &out.VMs[i]
+		vm.Arrival = scaleDur(vm.Arrival, t.Factor)
+		vm.Lifetime = scaleDur(vm.Lifetime, t.Factor)
+		if vm.Lifetime < 1 {
+			vm.Lifetime = 1 // keep sub-nanosecond lifetimes valid
+		}
+		vm.Load.TimeScale = effTimeScale(vm.Load.TimeScale) * t.Factor
+	}
+	for i := range out.Endpoints {
+		ep := &out.Endpoints[i]
+		ep.Rate.TimeScale = effTimeScale(ep.Rate.TimeScale) * t.Factor
+	}
+	// Scaling by a positive factor is monotone, so arrivals stay sorted and
+	// IDs stay dense — no renumbering needed.
+	return out, nil
+}
+
+// DemandScale makes the same trace arrive hotter or colder. SaaS demand
+// scales exactly: every endpoint's request rate is multiplied (the fluid
+// token demand follows linearly). IaaS demand scales through the VM
+// population — each IaaS VM is kept, thinned, or replicated deterministically
+// so the expected population is the original times the factor (replicas keep
+// their customer's load shape with a perturbed noise seed, preserving the
+// per-customer predictability TAPAS exploits). Either a uniform Factor or
+// per-kind IaaS/SaaS multipliers (unset means 1); serving capacity (endpoint
+// VM counts) is left alone, which is exactly what makes the trace "hotter".
+type DemandScale struct {
+	Factor float64 `json:"factor,omitempty"`
+	IaaS   float64 `json:"iaas,omitempty"`
+	SaaS   float64 `json:"saas,omitempty"`
+	Seed   uint64  `json:"seed,omitempty"`
+}
+
+// Op implements Step.
+func (d *DemandScale) Op() string { return "demand_scale" }
+
+// factors resolves the per-kind multipliers.
+func (d *DemandScale) factors() (iaas, saas float64) {
+	if d.Factor != 0 {
+		return d.Factor, d.Factor
+	}
+	iaas, saas = d.IaaS, d.SaaS
+	if iaas == 0 {
+		iaas = 1
+	}
+	if saas == 0 {
+		saas = 1
+	}
+	return iaas, saas
+}
+
+// Validate implements Step.
+func (d *DemandScale) Validate() error {
+	if d.Factor != 0 && (d.IaaS != 0 || d.SaaS != 0) {
+		return fmt.Errorf("factor and per-kind iaas/saas multipliers are mutually exclusive")
+	}
+	if d.Factor == 0 && d.IaaS == 0 && d.SaaS == 0 {
+		return fmt.Errorf("demand_scale needs a factor or at least one of iaas/saas")
+	}
+	for name, f := range map[string]float64{"factor": d.Factor, "iaas": d.IaaS, "saas": d.SaaS} {
+		if f == 0 {
+			continue
+		}
+		if math.IsNaN(f) || f < 0 || f > maxScaleFactor {
+			return fmt.Errorf("%s %v out of (0, %v]", name, f, maxScaleFactor)
+		}
+	}
+	return nil
+}
+
+// Clone implements Step.
+func (d *DemandScale) Clone() Step { c := *d; return &c }
+
+// Apply implements Step.
+func (d *DemandScale) Apply(w *trace.Workload) (*trace.Workload, error) {
+	iaas, saas := d.factors()
+	out := &trace.Workload{Config: w.Config}
+	out.Endpoints = append([]trace.EndpointSpec(nil), w.Endpoints...)
+	for i := range out.Endpoints {
+		out.Endpoints[i].PeakRPSPerVM *= saas
+	}
+	out.Config.DemandScale *= saas
+
+	if want := float64(len(w.VMs)) * math.Max(iaas, 1); want > maxVMs {
+		return nil, fmt.Errorf("iaas factor %v over %d VMs would exceed the %d-VM cap", iaas, len(w.VMs), maxVMs)
+	}
+	out.VMs = make([]trace.VMSpec, 0, len(w.VMs))
+	for _, vm := range w.VMs {
+		if vm.Kind != trace.IaaS {
+			out.VMs = append(out.VMs, vm)
+			continue
+		}
+		copies := int(math.Floor(iaas))
+		if frac := iaas - math.Floor(iaas); frac > 0 && trace.HashUnit(d.Seed^0x5ca1e, uint64(vm.ID)) < frac {
+			copies++
+		}
+		for j := 0; j < copies; j++ {
+			rep := vm
+			if j > 0 {
+				// Replicas share the customer's deterministic load shape but
+				// not its per-VM noise stream.
+				rep.Load.Seed = vm.Load.Seed ^ (uint64(j) * 0x9e3779b97f4a7c15)
+			}
+			out.VMs = append(out.VMs, rep)
+		}
+	}
+	if len(out.VMs) == 0 {
+		return nil, fmt.Errorf("iaas factor %v thinned away every VM", iaas)
+	}
+	// Replicas are inserted adjacent to their original (same arrival), so
+	// order stays sorted; only IDs need re-densifying.
+	renumberVMs(out.VMs)
+	return out, nil
+}
+
+// EndpointFilter keeps or drops parts of the workload: by VM kind ("iaas"
+// keeps only opaque customer VMs, "saas" only inference endpoints) or by
+// endpoint ID set. Remaining endpoints are re-indexed densely and their VMs'
+// references remapped. The empty filter is the identity.
+type EndpointFilter struct {
+	Kind string `json:"kind,omitempty"` // "iaas" | "saas"
+	Keep []int  `json:"keep,omitempty"`
+	Drop []int  `json:"drop,omitempty"`
+}
+
+// Op implements Step.
+func (e *EndpointFilter) Op() string { return "endpoint_filter" }
+
+// Validate implements Step.
+func (e *EndpointFilter) Validate() error {
+	set := 0
+	if e.Kind != "" {
+		set++
+		if e.Kind != "iaas" && e.Kind != "saas" {
+			return fmt.Errorf("unknown kind %q (known: iaas, saas)", e.Kind)
+		}
+	}
+	if len(e.Keep) > 0 {
+		set++
+	}
+	if len(e.Drop) > 0 {
+		set++
+	}
+	if set > 1 {
+		return fmt.Errorf("kind, keep, and drop are mutually exclusive")
+	}
+	for name, ids := range map[string][]int{"keep": e.Keep, "drop": e.Drop} {
+		seen := map[int]bool{}
+		for _, id := range ids {
+			if id < 0 {
+				return fmt.Errorf("%s id %d is negative", name, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("%s id %d listed twice", name, id)
+			}
+			seen[id] = true
+		}
+	}
+	return nil
+}
+
+// Clone implements Step.
+func (e *EndpointFilter) Clone() Step {
+	c := *e
+	c.Keep = append([]int(nil), e.Keep...)
+	c.Drop = append([]int(nil), e.Drop...)
+	return &c
+}
+
+// Apply implements Step.
+func (e *EndpointFilter) Apply(w *trace.Workload) (*trace.Workload, error) {
+	if e.Kind == "" && len(e.Keep) == 0 && len(e.Drop) == 0 {
+		return w, nil // identity
+	}
+	keepIaaS := true
+	keepEp := make([]bool, len(w.Endpoints))
+	switch {
+	case e.Kind == "iaas":
+		keepIaaS = true // and no endpoints
+	case e.Kind == "saas":
+		keepIaaS = false
+		for i := range keepEp {
+			keepEp[i] = true
+		}
+	case len(e.Keep) > 0:
+		for _, id := range e.Keep {
+			if id >= len(w.Endpoints) {
+				return nil, fmt.Errorf("keep id %d out of range (trace has %d endpoints)", id, len(w.Endpoints))
+			}
+			keepEp[id] = true
+		}
+	default:
+		for i := range keepEp {
+			keepEp[i] = true
+		}
+		for _, id := range e.Drop {
+			if id >= len(w.Endpoints) {
+				return nil, fmt.Errorf("drop id %d out of range (trace has %d endpoints)", id, len(w.Endpoints))
+			}
+			keepEp[id] = false
+		}
+	}
+
+	out := &trace.Workload{Config: w.Config}
+	remap := make([]int, len(w.Endpoints))
+	for i, ep := range w.Endpoints {
+		if !keepEp[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(out.Endpoints)
+		ep.ID = len(out.Endpoints)
+		out.Endpoints = append(out.Endpoints, ep)
+	}
+	for _, vm := range w.VMs {
+		if vm.Kind == trace.IaaS {
+			if !keepIaaS {
+				continue
+			}
+		} else {
+			if remap[vm.Endpoint] < 0 {
+				continue
+			}
+			vm.Endpoint = remap[vm.Endpoint]
+		}
+		out.VMs = append(out.VMs, vm)
+	}
+	if len(out.VMs) == 0 {
+		return nil, fmt.Errorf("filter removed every VM")
+	}
+	renumberVMs(out.VMs)
+	out.Config.Endpoints = len(out.Endpoints)
+	return out, nil
+}
+
+// Jitter perturbs VM arrival times with a seeded uniform offset in
+// [-sigma, +sigma], de-synchronizing arrival waves without changing the
+// aggregate demand. Initial residents (arrival 0 — the warm-start
+// population) are left in place; perturbed arrivals clamp to the recorded
+// window [0, duration], so a VM near either edge is moved to it rather than
+// silently dropped out of the replay. The same sigma and seed always
+// produce the same trace.
+type Jitter struct {
+	Sigma Dur    `json:"sigma"`
+	Seed  uint64 `json:"seed,omitempty"`
+}
+
+// Op implements Step.
+func (j *Jitter) Op() string { return "jitter" }
+
+// Validate implements Step.
+func (j *Jitter) Validate() error {
+	if j.Sigma <= 0 || j.Sigma > maxJitterSigma {
+		return fmt.Errorf("sigma %v out of (0, %v]", time.Duration(j.Sigma), time.Duration(maxJitterSigma))
+	}
+	return nil
+}
+
+// Clone implements Step.
+func (j *Jitter) Clone() Step { c := *j; return &c }
+
+// Apply implements Step.
+func (j *Jitter) Apply(w *trace.Workload) (*trace.Workload, error) {
+	out := shallowCopy(w)
+	for i := range out.VMs {
+		vm := &out.VMs[i]
+		if vm.Arrival <= 0 {
+			continue
+		}
+		u := trace.HashUnit(j.Seed^0x7177e4, uint64(vm.ID))
+		vm.Arrival += time.Duration(math.Round((2*u - 1) * float64(j.Sigma)))
+		if vm.Arrival < 0 {
+			vm.Arrival = 0
+		}
+		if limit := w.Config.Duration; limit > 0 && vm.Arrival > limit {
+			vm.Arrival = limit
+		}
+	}
+	sort.SliceStable(out.VMs, func(a, b int) bool { return out.VMs[a].Arrival < out.VMs[b].Arrival })
+	renumberVMs(out.VMs)
+	return out, nil
+}
+
+// Splice overlays a second recorded trace onto the first: its endpoints are
+// appended (re-indexed densely), its VMs merged into the arrival order with
+// an optional time offset, and its IaaS customers renumbered past the base
+// trace's so load-shape identities never collide. Both traces must target
+// the same fleet size. The window extends to cover the shifted overlay.
+type Splice struct {
+	Trace  string `json:"trace"`
+	Offset Dur    `json:"offset,omitempty"`
+
+	// other is the loaded overlay workload (Chain.Load, or SetWorkload for
+	// programmatic chains). It is shared read-only, never mutated.
+	other *trace.Workload
+}
+
+// Op implements Step.
+func (s *Splice) Op() string { return "splice" }
+
+// Validate implements Step.
+func (s *Splice) Validate() error {
+	if s.Trace == "" {
+		return fmt.Errorf("splice needs a trace path")
+	}
+	if s.Offset < 0 || s.Offset > maxSpliceShift {
+		return fmt.Errorf("offset %v out of [0, %v]", time.Duration(s.Offset), time.Duration(maxSpliceShift))
+	}
+	return nil
+}
+
+// Clone implements Step. The loaded overlay is shared (read-only), matching
+// compiled-scenario sharing semantics.
+func (s *Splice) Clone() Step { c := *s; return &c }
+
+// SetWorkload attaches an already-parsed overlay workload, for chains built
+// programmatically rather than loaded from disk. The workload is used
+// read-only.
+func (s *Splice) SetWorkload(w *trace.Workload) { s.other = w }
+
+// load resolves and reads the overlay trace (no-op when already attached).
+func (s *Splice) load(dir string) error {
+	if s.other != nil {
+		return nil
+	}
+	path := s.Trace
+	if !filepath.IsAbs(path) && dir != "" {
+		path = filepath.Join(dir, path)
+	}
+	w, err := trace.LoadWorkloadCSV(path)
+	if err != nil {
+		return err
+	}
+	s.other = w
+	return nil
+}
+
+// Apply implements Step.
+func (s *Splice) Apply(w *trace.Workload) (*trace.Workload, error) {
+	if s.other == nil {
+		return nil, fmt.Errorf("splice trace %q not loaded (Chain.Load resolves it)", s.Trace)
+	}
+	ov := s.other
+	if ov.Config.Servers != w.Config.Servers {
+		return nil, fmt.Errorf("splice trace %q was recorded for %d servers, base trace for %d; both must target the same fleet",
+			s.Trace, ov.Config.Servers, w.Config.Servers)
+	}
+	if len(w.VMs)+len(ov.VMs) > maxVMs {
+		return nil, fmt.Errorf("splice would produce %d VMs, more than the %d cap", len(w.VMs)+len(ov.VMs), maxVMs)
+	}
+	offset := time.Duration(s.Offset)
+
+	out := &trace.Workload{Config: w.Config}
+	out.Endpoints = append([]trace.EndpointSpec(nil), w.Endpoints...)
+	epShift := len(w.Endpoints)
+	for _, ep := range ov.Endpoints {
+		ep.ID += epShift
+		out.Endpoints = append(out.Endpoints, ep)
+	}
+
+	// Overlay IaaS customers get fresh identities: customer IDs key the
+	// shared load shapes and seeded history, and two recordings' customer 7s
+	// are unrelated tenants.
+	custShift := 0
+	for _, vm := range w.VMs {
+		if vm.Kind == trace.IaaS && vm.Customer >= custShift {
+			custShift = vm.Customer + 1
+		}
+	}
+
+	shifted := make([]trace.VMSpec, len(ov.VMs))
+	for i, vm := range ov.VMs {
+		vm.Arrival += offset
+		if vm.Kind == trace.IaaS {
+			vm.Customer += custShift
+		} else {
+			vm.Endpoint += epShift
+		}
+		shifted[i] = vm
+	}
+
+	// Merge two arrival-sorted lists; base VMs win ties, keeping the merge
+	// stable and deterministic.
+	out.VMs = make([]trace.VMSpec, 0, len(w.VMs)+len(shifted))
+	i, k := 0, 0
+	for i < len(w.VMs) && k < len(shifted) {
+		if w.VMs[i].Arrival <= shifted[k].Arrival {
+			out.VMs = append(out.VMs, w.VMs[i])
+			i++
+		} else {
+			out.VMs = append(out.VMs, shifted[k])
+			k++
+		}
+	}
+	out.VMs = append(out.VMs, w.VMs[i:]...)
+	out.VMs = append(out.VMs, shifted[k:]...)
+	renumberVMs(out.VMs)
+
+	if end := offset + ov.Config.Duration; end > out.Config.Duration {
+		out.Config.Duration = end
+	}
+	out.Config.Endpoints = len(out.Endpoints)
+	return out, nil
+}

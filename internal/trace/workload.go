@@ -168,6 +168,58 @@ type Workload struct {
 	Endpoints []EndpointSpec
 }
 
+// Validate checks the structural invariants every consumer of a workload
+// relies on: the engine indexes VM and endpoint state positionally
+// (State.VMs[id], Workload.Endpoints[id]) and admits arrivals through a
+// monotone cursor, so IDs must be dense in order and arrivals sorted — a
+// shifted ID would remove the wrong VM at expiry, an out-of-order arrival
+// would be admitted late. ReadWorkloadCSV enforces the same invariants row by
+// row; Validate covers workloads built programmatically (imports, transforms,
+// replay of in-memory traces).
+func (w *Workload) Validate() error {
+	if w.Config.Servers <= 0 {
+		return fmt.Errorf("trace: workload has non-positive server count %d", w.Config.Servers)
+	}
+	if w.Config.Duration < 0 {
+		return fmt.Errorf("trace: workload has negative duration %v", w.Config.Duration)
+	}
+	if len(w.VMs) == 0 {
+		return fmt.Errorf("trace: workload has no VMs")
+	}
+	for i, ep := range w.Endpoints {
+		if ep.ID != i {
+			return fmt.Errorf("trace: endpoint %d has id %d; endpoint ids must be dense 0..n-1 in order", i, ep.ID)
+		}
+		if ep.NumVMs < 0 {
+			return fmt.Errorf("trace: endpoint %d has negative num_vms %d", i, ep.NumVMs)
+		}
+	}
+	for i, vm := range w.VMs {
+		if vm.ID != i {
+			return fmt.Errorf("trace: VM %d has id %d; VM ids must be dense 0..n-1 in order", i, vm.ID)
+		}
+		if vm.Kind != IaaS && vm.Kind != SaaS {
+			return fmt.Errorf("trace: VM %d has invalid kind %d", i, int(vm.Kind))
+		}
+		if i > 0 && vm.Arrival < w.VMs[i-1].Arrival {
+			return fmt.Errorf("trace: VM %d arrives at %v, before VM %d at %v; VMs must be sorted by arrival", i, vm.Arrival, i-1, w.VMs[i-1].Arrival)
+		}
+		if vm.Arrival < 0 {
+			return fmt.Errorf("trace: VM %d has negative arrival %v", i, vm.Arrival)
+		}
+		if vm.Lifetime <= 0 {
+			return fmt.Errorf("trace: VM %d has non-positive lifetime %v", i, vm.Lifetime)
+		}
+		if vm.Kind == SaaS && (vm.Endpoint < 0 || vm.Endpoint >= len(w.Endpoints)) {
+			return fmt.Errorf("trace: SaaS VM %d references undeclared endpoint %d", i, vm.Endpoint)
+		}
+		if vm.Kind == IaaS && vm.Endpoint != -1 {
+			return fmt.Errorf("trace: IaaS VM %d has endpoint %d, want -1", i, vm.Endpoint)
+		}
+	}
+	return nil
+}
+
 // Generate builds the full VM arrival trace and endpoint set.
 func Generate(cfg WorkloadConfig) (*Workload, error) {
 	if cfg.Servers <= 0 {
@@ -317,10 +369,10 @@ func iaasLoad(rng *rand.Rand, seed uint64, customer, vmID int) LoadPattern {
 	// phases spread only a few hours.
 	custPhase := float64(customer%7) - 3
 	return LoadPattern{
-		Base:       0.20 + 0.35*hashUnit(seed, uint64(customer)*31),
-		DiurnalAmp: 0.30 + 0.50*hashUnit(seed, uint64(customer)*37),
+		Base:       0.20 + 0.35*HashUnit(seed, uint64(customer)*31),
+		DiurnalAmp: 0.30 + 0.50*HashUnit(seed, uint64(customer)*37),
 		PhaseHours: custPhase,
-		WeekendDip: 0.2 * hashUnit(seed, uint64(customer)*41),
+		WeekendDip: 0.2 * HashUnit(seed, uint64(customer)*41),
 		NoiseAmp:   0.04 + 0.05*rng.Float64(),
 		Seed:       seed ^ uint64(vmID)<<13,
 	}

@@ -22,23 +22,31 @@ import (
 // The file is ordinary CSV with a leading record-type column and per-type
 // field counts:
 //
-//	tapas-workload,v1
+//	tapas-workload,v2
 //	config,<servers>,<saas_fraction>,<duration_ns>,<endpoints>,<seed>,<occupancy>,<demand_scale>
-//	endpoint,<id>,<num_vms>,<avg_prompt_tokens>,<avg_output_tokens>,<rate_base>,<rate_amp>,<rate_phase>,<rate_weekend_dip>,<rate_noise>,<rate_seed>,<peak_rps_per_vm>,<customer_count>,<seed>
-//	vm,<id>,<kind>,<customer>,<endpoint>,<arrival_ns>,<lifetime_ns>,<base>,<amp>,<phase>,<weekend_dip>,<noise>,<seed>
+//	endpoint,<id>,<num_vms>,<avg_prompt_tokens>,<avg_output_tokens>,<rate_base>,<rate_amp>,<rate_phase>,<rate_weekend_dip>,<rate_noise>,<rate_seed>,<peak_rps_per_vm>,<customer_count>,<seed>,<rate_time_scale>
+//	vm,<id>,<kind>,<customer>,<endpoint>,<arrival_ns>,<lifetime_ns>,<base>,<amp>,<phase>,<weekend_dip>,<noise>,<seed>,<time_scale>
 //
 // Records must appear in section order (version, config, endpoints, VMs) so
 // the reader can validate every row as it arrives: a VM row referencing an
 // endpoint checks against the endpoints already declared, without buffering
 // the file. Floats are serialized with strconv 'g'/-1, which round-trips
 // float64 exactly.
+//
+// v1 files — everything recorded before the time_warp transform existed —
+// lack the trailing time_scale column on endpoint and vm rows; the reader
+// still accepts them (time scale 0 = unscaled), the writer always emits v2.
 const (
-	workloadMagic   = "tapas-workload"
-	workloadVersion = "v1"
+	workloadMagic     = "tapas-workload"
+	workloadVersion   = "v2"
+	workloadVersionV1 = "v1"
 
-	configCols   = 8
-	endpointCols = 14
-	vmCols       = 13
+	configCols = 8
+
+	endpointColsV1 = 14
+	vmColsV1       = 13
+	endpointCols   = 15
+	vmCols         = 14
 )
 
 // WriteWorkloadCSV serializes a full workload in the versioned CSV layout
@@ -77,6 +85,7 @@ func WriteWorkloadCSV(w io.Writer, wl *Workload) error {
 			formatFloat(ep.PeakRPSPerVM),
 			strconv.Itoa(ep.CustomerCount),
 			strconv.FormatUint(ep.Seed, 10),
+			formatFloat(ep.Rate.TimeScale),
 		}); err != nil {
 			return fmt.Errorf("trace: writing endpoint %d: %w", ep.ID, err)
 		}
@@ -96,6 +105,7 @@ func WriteWorkloadCSV(w io.Writer, wl *Workload) error {
 			formatFloat(vm.Load.WeekendDip),
 			formatFloat(vm.Load.NoiseAmp),
 			strconv.FormatUint(vm.Load.Seed, 10),
+			formatFloat(vm.Load.TimeScale),
 		}); err != nil {
 			return fmt.Errorf("trace: writing VM %d: %w", vm.ID, err)
 		}
@@ -129,8 +139,13 @@ func ReadWorkloadCSV(r io.Reader) (*Workload, error) {
 	if len(rec) != 2 || rec[0] != workloadMagic {
 		return nil, fmt.Errorf("trace: workload row 1: not a %s file (got %q)", workloadMagic, rec[0])
 	}
-	if rec[1] != workloadVersion {
-		return nil, fmt.Errorf("trace: workload row 1: unsupported version %q (supported: %s)", rec[1], workloadVersion)
+	v1 := rec[1] == workloadVersionV1
+	if !v1 && rec[1] != workloadVersion {
+		return nil, fmt.Errorf("trace: workload row 1: unsupported version %q (supported: %s, %s)", rec[1], workloadVersionV1, workloadVersion)
+	}
+	wantEndpointCols, wantVMCols := endpointCols, vmCols
+	if v1 {
+		wantEndpointCols, wantVMCols = endpointColsV1, vmColsV1
 	}
 
 	wl := &Workload{}
@@ -189,8 +204,8 @@ func ReadWorkloadCSV(r io.Reader) (*Workload, error) {
 			if sawVM {
 				return nil, fmt.Errorf("trace: workload row %d: endpoint record after VM records (endpoints must precede VMs)", row)
 			}
-			if len(rec) != endpointCols {
-				return nil, fmt.Errorf("trace: workload row %d: endpoint record has %d fields, want %d", row, len(rec), endpointCols)
+			if len(rec) != wantEndpointCols {
+				return nil, fmt.Errorf("trace: workload row %d: endpoint record has %d fields, want %d", row, len(rec), wantEndpointCols)
 			}
 			ep := EndpointSpec{
 				ID:     p.intField(1, "id"),
@@ -211,6 +226,9 @@ func ReadWorkloadCSV(r io.Reader) (*Workload, error) {
 				CustomerCount: p.intField(12, "customer_count"),
 				Seed:          p.uintField(13, "seed"),
 			}
+			if !v1 {
+				ep.Rate.TimeScale = p.floatField(14, "rate_time_scale")
+			}
 			if p.err != nil {
 				return nil, p.err
 			}
@@ -229,8 +247,8 @@ func ReadWorkloadCSV(r io.Reader) (*Workload, error) {
 			if !haveConfig {
 				return nil, fmt.Errorf("trace: workload row %d: vm record before config", row)
 			}
-			if len(rec) != vmCols {
-				return nil, fmt.Errorf("trace: workload row %d: vm record has %d fields, want %d", row, len(rec), vmCols)
+			if len(rec) != wantVMCols {
+				return nil, fmt.Errorf("trace: workload row %d: vm record has %d fields, want %d", row, len(rec), wantVMCols)
 			}
 			sawVM = true
 			vm := VMSpec{
@@ -248,6 +266,9 @@ func ReadWorkloadCSV(r io.Reader) (*Workload, error) {
 					NoiseAmp:   p.floatField(11, "noise"),
 					Seed:       p.uintField(12, "seed"),
 				},
+			}
+			if !v1 {
+				vm.Load.TimeScale = p.floatField(13, "time_scale")
 			}
 			if p.err != nil {
 				return nil, p.err

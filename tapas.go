@@ -28,6 +28,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/scenario"
 	"github.com/tapas-sim/tapas/internal/sim"
 	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
 
 // Core simulation types, re-exported from the simulation engine.
@@ -131,6 +132,36 @@ func ExportTrace(w io.Writer, wl *Workload) error { return trace.WriteWorkloadCS
 // LoadTrace reads a workload trace CSV recorded by ExportTrace or
 // tapas-trace -export; set the result as Scenario.Trace to replay it.
 func LoadTrace(path string) (*Workload, error) { return trace.LoadWorkloadCSV(path) }
+
+// TransformChain is a composable replay-time transform pipeline over a
+// recorded Workload: time_warp, demand_scale, endpoint_filter, jitter, and
+// splice steps, each a pure deterministic Workload -> Workload function with
+// a canonical JSON encoding. Set it as Scenario.TraceTransforms (applied
+// inside Compile), the workload.transforms spec field, or apply it directly
+// with ApplyTransforms; all three produce byte-identical replays.
+type TransformChain = transform.Chain
+
+// ParseTransforms decodes and validates a transform chain from its canonical
+// JSON form (a `[{"op": ...}, ...]` array). Unknown ops and fields are
+// rejected. Chains containing splice steps additionally need
+// TransformChain.Load to resolve the overlay trace before use.
+func ParseTransforms(data []byte) (TransformChain, error) { return transform.Parse(data) }
+
+// ApplyTransforms runs a transform chain over a recorded workload and
+// returns the transformed copy; the input workload is never mutated.
+func ApplyTransforms(c TransformChain, wl *Workload) (*Workload, error) { return c.Apply(wl) }
+
+// AzureImportConfig parameterizes ImportAzureLLMCSV's demand reconstruction.
+type AzureImportConfig = trace.AzureImportConfig
+
+// ImportAzureLLMCSV ingests an Azure-LLM-inference-style request log
+// (timestamp,endpoint,prompt_tokens,output_tokens rows) and reconstructs a
+// replayable Workload via binned demand reconstruction — the ingestion path
+// for the production trace formats the paper evaluates against. See
+// cmd/tapas-trace -import-azure.
+func ImportAzureLLMCSV(r io.Reader, cfg AzureImportConfig) (*Workload, error) {
+	return trace.ReadAzureLLMCSV(r, cfg)
+}
 
 // ScenarioSpec is a declarative JSON scenario specification: one simulation
 // setup (layout scale and A100/H100 mix, workload mix, weather,
