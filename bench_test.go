@@ -230,6 +230,57 @@ func BenchmarkEngineSimHour(b *testing.B) {
 	}
 }
 
+// --- hyperscale scale axis -------------------------------------------------
+
+// hyperscaleScenario provisions the paper's fleet at 10x aisles (~10k
+// servers) and runs one simulated day. Dirty-set skipping makes steady-state
+// ticks cheap, so this mostly prices initial placement plus a day of VM
+// churn at scale; the bytes/op recorded in the bench baseline is the memory
+// budget for a 10x fleet-day. scripts/bench.sh always runs the Hyperscale
+// benches at one iteration regardless of BENCHTIME.
+func hyperscaleScenario(b *testing.B) sim.Scenario {
+	b.Helper()
+	sc := sim.DefaultScenario()
+	sc.Layout.FleetScale = 10
+	sc.Duration = 24 * time.Hour
+	sc.Workload.Duration = sc.Duration
+	dc, err := layout.New(sc.Layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.Workload.Servers = len(dc.Servers)
+	// Warm the memoized offline profiles for the 10x layout so neither
+	// variant's bytes/op carries the one-time profile fit — whichever
+	// Hyperscale bench ran first would otherwise report ~50x the bytes of
+	// the second, making the recorded budget depend on bench ordering.
+	if _, err := core.ProfilesFor(dc); err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+func benchHyperscale(b *testing.B, shards int) {
+	sc := hyperscaleScenario(b)
+	sc.Shards = shards
+	cs, err := sim.Compile(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cs.Run(core.NewFull()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Serial pins the scale axis itself; Sharded runs the same fleet-day on a
+// GOMAXPROCS worker pool (byte-identical results — see internal/sim's shard
+// tests — so the delta is pure tick-kernel parallelism).
+func BenchmarkHyperscaleDaySerial(b *testing.B)  { benchHyperscale(b, 1) }
+func BenchmarkHyperscaleDaySharded(b *testing.B) { benchHyperscale(b, -1) }
+
 // --- ablation benches for DESIGN.md §6 design choices ----------------------
 
 // BenchmarkAblationRouterRiskFilter compares TAPAS with and without the

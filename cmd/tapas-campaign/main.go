@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for compiles and runs (1 = sequential)")
+		shards   = fs.Int("shards", 0, "tick-kernel shards per run (0 keeps the spec's; 1 serial, -1 = GOMAXPROCS); reports are byte-identical at any value")
 		scale    = fs.Float64("scale", 0, "override the spec's scale (0 keeps it; 1.0 = paper scale)")
 		format   = fs.String("format", "", "override the spec's report format: text | csv | json")
 		validate = fs.Bool("validate", false, "parse and validate specs without running anything")
@@ -87,7 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		start := time.Now()
-		res, err := c.Run(scenario.RunOptions{Parallel: *parallel})
+		res, err := c.Run(scenario.RunOptions{Parallel: *parallel, Shards: *shards})
 		if err != nil {
 			fmt.Fprintln(stderr, "tapas-campaign:", err)
 			return 1

@@ -72,19 +72,33 @@ type State struct {
 	// server*GPUsPerServer + gpu; use GPUFracs/GPUTemps for the per-server
 	// view. The flat layout keeps the simulator's fleet sweeps on contiguous
 	// memory instead of a slice-of-slices pointer chase.
-	GPUPowerFrac   []float64
-	GPUTempC       []float64
-	GPUsPerServer  int
-	RowPowerW      []float64
-	AisleDemandCFM []float64
-	AisleRecircC   []float64
+	GPUPowerFrac []float64
+	GPUTempC     []float64
+	// ServerHotGPUTempC is each server's hottest GPU temperature, maintained
+	// by the tick kernel alongside GPUTempC so per-server consumers (the
+	// router's risk gate) read one slot instead of rescanning the GPU block.
+	ServerHotGPUTempC []float64
+	GPUsPerServer     int
+	RowPowerW         []float64
+	AisleDemandCFM    []float64
+	AisleRecircC      []float64
 	// AirflowLimitFrac scales provisioned aisle airflow (0.9 during a
 	// cooling emergency).
 	AirflowLimitFrac float64
 
+	// RowOccEpoch counts placements and removals per row. The simulator's
+	// dirty-set tick compares epochs across ticks to prove a row's occupancy
+	// inputs are unchanged and skip re-evaluating it; anything that binds or
+	// unbinds VMs goes through Place/Remove, so the counter is exact.
+	RowOccEpoch []uint64
+
 	// Rolling history at HistoryRes for templates and placement prediction,
 	// bounded to HistoryMaxSamples without per-append copying.
-	RowPowerHist    []*ring.Ring
+	RowPowerHist []*ring.Ring
+	// ServerInletHist is nil unless EnableServerInletHistory was called:
+	// per-server rings cost O(servers × HistoryMaxSamples) memory and no
+	// policy consumes them, so hyperscale runs keep memory O(active series)
+	// by default.
 	ServerInletHist []*ring.Ring
 	// CustomerPeakLoad tracks the observed peak GPU load fraction per IaaS
 	// customer; EndpointPeakPerVM tracks peak per-VM token demand per
@@ -92,6 +106,12 @@ type State struct {
 	// estimates of §4.1.
 	CustomerPeakLoad  map[int]float64
 	EndpointPeakPerVM map[int]float64
+	// customerPeak mirrors CustomerPeakLoad densely for the customer IDs
+	// present in the workload: ObserveCustomerLoad runs per IaaS server per
+	// tick and the map lookup dominated it. The map stays the source
+	// external readers see; the mirror only short-circuits the no-new-peak
+	// common case.
+	customerPeak []float64
 
 	histAccum time.Duration
 
@@ -126,22 +146,23 @@ func NewStateFrom(dc *layout.Datacenter, w *trace.Workload, profile *llm.Profile
 		SLOs:    profile.SLOs,
 		Budget:  power.NewBudget(dc),
 
-		ServerVM:         make([]int, n),
-		ServerInletC:     make([]float64, n),
-		ServerPowerW:     make([]float64, n),
-		ServerLoadFrac:   make([]float64, n),
-		ServerAirflowCFM: make([]float64, n),
-		ServerFreqCap:    make([]float64, n),
-		GPUPowerFrac:     make([]float64, n*spec.GPUsPerServer),
-		GPUTempC:         make([]float64, n*spec.GPUsPerServer),
-		GPUsPerServer:    spec.GPUsPerServer,
-		RowPowerW:        make([]float64, len(dc.Rows)),
-		AisleDemandCFM:   make([]float64, len(dc.Aisles)),
-		AisleRecircC:     make([]float64, len(dc.Aisles)),
-		AirflowLimitFrac: 1,
+		ServerVM:          make([]int, n),
+		ServerInletC:      make([]float64, n),
+		ServerPowerW:      make([]float64, n),
+		ServerLoadFrac:    make([]float64, n),
+		ServerAirflowCFM:  make([]float64, n),
+		ServerFreqCap:     make([]float64, n),
+		GPUPowerFrac:      make([]float64, n*spec.GPUsPerServer),
+		GPUTempC:          make([]float64, n*spec.GPUsPerServer),
+		ServerHotGPUTempC: make([]float64, n),
+		GPUsPerServer:     spec.GPUsPerServer,
+		RowPowerW:         make([]float64, len(dc.Rows)),
+		AisleDemandCFM:    make([]float64, len(dc.Aisles)),
+		AisleRecircC:      make([]float64, len(dc.Aisles)),
+		AirflowLimitFrac:  1,
 
+		RowOccEpoch:       make([]uint64, len(dc.Rows)),
 		RowPowerHist:      make([]*ring.Ring, len(dc.Rows)),
-		ServerInletHist:   make([]*ring.Ring, n),
 		CustomerPeakLoad:  make(map[int]float64),
 		EndpointPeakPerVM: make(map[int]float64),
 
@@ -162,15 +183,17 @@ func NewStateFrom(dc *layout.Datacenter, w *trace.Workload, profile *llm.Profile
 	for r := range st.RowPowerHist {
 		st.RowPowerHist[r] = ring.New(HistoryMaxSamples)
 	}
-	for s := range st.ServerInletHist {
-		st.ServerInletHist[s] = ring.New(HistoryMaxSamples)
-	}
 	if w != nil {
 		st.VMs = make([]*VM, len(w.VMs))
+		maxCustomer := -1
 		for i := range w.VMs {
 			st.VMs[i] = &VM{Spec: w.VMs[i], Server: -1}
+			if c := w.VMs[i].Customer; c > maxCustomer {
+				maxCustomer = c
+			}
 		}
 		st.epInstances = make([][]*VM, len(w.Endpoints))
+		st.customerPeak = make([]float64, maxCustomer+1)
 	}
 	return st
 }
@@ -196,6 +219,7 @@ func (st *State) Place(vmID, serverID int) error {
 	st.freeCount--
 	st.freeDirty = true
 	row := st.DC.Servers[serverID].Row
+	st.RowOccEpoch[row]++
 	if vm.Spec.Kind == trace.SaaS {
 		st.rowSaaS[row]++
 		ep := st.Work.Endpoints[vm.Spec.Endpoint]
@@ -212,6 +236,7 @@ func (st *State) Remove(vmID int) {
 	vm := st.VMs[vmID]
 	if vm.Server >= 0 {
 		row := st.DC.Servers[vm.Server].Row
+		st.RowOccEpoch[row]++
 		if vm.Spec.Kind == trace.SaaS {
 			st.rowSaaS[row]--
 			st.unindexEndpointVM(vm)
@@ -326,6 +351,9 @@ func (st *State) GPUTemps(server int) []float64 {
 func (st *State) SeedHistory(customerPeak, endpointPeak map[int]float64) {
 	for c, v := range customerPeak {
 		st.CustomerPeakLoad[c] = v
+		if c >= 0 && c < len(st.customerPeak) && v > st.customerPeak[c] {
+			st.customerPeak[c] = v
+		}
 	}
 	for e, v := range endpointPeak {
 		st.EndpointPeakPerVM[e] = v
@@ -336,6 +364,20 @@ func (st *State) SeedHistory(customerPeak, endpointPeak map[int]float64) {
 // the current cooling-emergency factor.
 func (st *State) AisleLimitCFM(aisle int) float64 {
 	return st.DC.Aisles[aisle].ProvAirflowCFM * st.AirflowLimitFrac
+}
+
+// EnableServerInletHistory allocates the per-server inlet-temperature rings.
+// They are off by default — O(servers × HistoryMaxSamples) memory that no
+// built-in policy reads — so only analyses that sample per-server inlet
+// history opt in, before the run starts.
+func (st *State) EnableServerInletHistory() {
+	if st.ServerInletHist != nil {
+		return
+	}
+	st.ServerInletHist = make([]*ring.Ring, len(st.ServerVM))
+	for s := range st.ServerInletHist {
+		st.ServerInletHist[s] = ring.New(HistoryMaxSamples)
+	}
 }
 
 // RecordHistory appends the current telemetry to the rolling history when a
@@ -356,6 +398,15 @@ func (st *State) RecordHistory(dt time.Duration) {
 
 // ObserveCustomerLoad updates the per-customer peak IaaS load estimate.
 func (st *State) ObserveCustomerLoad(customer int, loadFrac float64) {
+	if customer >= 0 && customer < len(st.customerPeak) {
+		// Dense fast path: an absent map entry compares as 0, which is
+		// exactly what an untouched mirror slot holds, so the no-new-peak
+		// common case never reaches the map.
+		if loadFrac <= st.customerPeak[customer] {
+			return
+		}
+		st.customerPeak[customer] = loadFrac
+	}
 	if loadFrac > st.CustomerPeakLoad[customer] {
 		st.CustomerPeakLoad[customer] = loadFrac
 	}

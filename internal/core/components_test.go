@@ -244,6 +244,8 @@ func TestRouterAvoidsHotServers(t *testing.T) {
 	for g := range temps {
 		temps[g] = st.Spec.ThrottleTempC - 1
 	}
+	// The tick kernel maintains the per-server max the router reads.
+	st.ServerHotGPUTempC[hot] = st.Spec.ThrottleTempC - 1
 	// High demand (spread regime) that still fits the safe instances'
 	// serving capacity, so nothing overflows onto the risky one.
 	rt.route(st, st.Work.Endpoints[0], 9.6e5, 2.4e5)

@@ -185,38 +185,72 @@ func (c *configurator) configure(st *cluster.State) {
 // thermal/power limits, quality floor, and (when reloads are gated) the
 // no-reload restriction, the lowest-average-power entry whose goodput covers
 // required demand; when none covers it, the highest-goodput entry.
+// Entries are visited through pointers: ProfileEntry is large enough that
+// copying it per iteration dominated the configurator's profile.
 func (c *configurator) pick(p *llm.Profile, cur llm.Config, maxFrac, maxServerW, qualityFloor, required float64, reloadOK bool) (llm.ProfileEntry, bool) {
-	feasible := func(e llm.ProfileEntry) bool {
+	feasible := func(e *llm.ProfileEntry) bool {
 		return e.Goodput > 0 && e.Quality >= qualityFloor &&
 			e.PeakGPUPowerFrac <= maxFrac && e.PeakServerPowerW <= maxServerW &&
 			(reloadOK || llm.ReconfigTime(cur, e.Config) == 0)
 	}
-	var best llm.ProfileEntry
-	bestOK := false
-	for _, e := range p.Entries { // sorted by goodput descending
-		if !feasible(e) {
-			continue
+	// A quality floor of 1 (the non-emergency case) can only be met by the
+	// precomputed full-quality subset; scanning just it preserves the
+	// goodput ordering while skipping the reduced-quality majority.
+	idx := p.FullQuality
+	if qualityFloor < 1 {
+		idx = nil
+	}
+	var best *llm.ProfileEntry
+	if idx != nil {
+		for _, i := range idx { // sorted by goodput descending
+			e := &p.Entries[i]
+			if e.Goodput < required {
+				break // all later entries have even less goodput
+			}
+			if !feasible(e) {
+				continue
+			}
+			if best == nil || e.Quality > best.Quality ||
+				(e.Quality == best.Quality && (e.AvgServerPowerW < best.AvgServerPowerW ||
+					(e.AvgServerPowerW == best.AvgServerPowerW && llm.ReconfigTime(cur, e.Config) < llm.ReconfigTime(cur, best.Config)))) {
+				best = e
+			}
 		}
+		if best != nil {
+			return *best, true
+		}
+		for _, i := range idx {
+			if e := &p.Entries[i]; feasible(e) {
+				return *e, true
+			}
+		}
+		return llm.ProfileEntry{}, false
+	}
+	for i := range p.Entries { // sorted by goodput descending
+		e := &p.Entries[i]
 		if e.Goodput < required {
 			break // all later entries have even less goodput
+		}
+		if !feasible(e) {
+			continue
 		}
 		// Among feasible entries prefer the highest quality — smaller
 		// models are used "only when necessary" (§5.4) — then the lowest
 		// average power, then the cheapest reconfiguration.
-		if !bestOK || e.Quality > best.Quality ||
+		if best == nil || e.Quality > best.Quality ||
 			(e.Quality == best.Quality && (e.AvgServerPowerW < best.AvgServerPowerW ||
 				(e.AvgServerPowerW == best.AvgServerPowerW && llm.ReconfigTime(cur, e.Config) < llm.ReconfigTime(cur, best.Config)))) {
-			best, bestOK = e, true
+			best = e
 		}
 	}
-	if bestOK {
-		return best, true
+	if best != nil {
+		return *best, true
 	}
 	// Demand cannot be covered within limits: serve as much as possible
 	// with the highest-goodput feasible entry.
-	for _, e := range p.Entries {
-		if feasible(e) {
-			return e, true
+	for i := range p.Entries {
+		if e := &p.Entries[i]; feasible(e) {
+			return *e, true
 		}
 	}
 	return llm.ProfileEntry{}, false

@@ -122,7 +122,7 @@ func fitServerModels(spec layout.GPUSpec) (thermal.AirflowModel, power.Model, er
 	afLoads := []float64{0, 0.25, 0.5, 0.75, 1}
 	afFlows := make([]float64, len(afLoads))
 	for i, l := range afLoads {
-		afFlows[i] = thermal.Airflow(spec, l)
+		afFlows[i] = thermal.Airflow(&spec, l)
 	}
 	airflowModel, err := thermal.FitAirflowModel(afLoads, afFlows)
 	if err != nil {
@@ -133,7 +133,7 @@ func fitServerModels(spec layout.GPUSpec) (thermal.AirflowModel, power.Model, er
 	var pLoads, pPowers []float64
 	for l := 0.0; l <= 1.001; l += 0.05 {
 		pLoads = append(pLoads, l)
-		pPowers = append(pPowers, power.ServerPowerAtUniformLoad(spec, l))
+		pPowers = append(pPowers, power.ServerPowerAtUniformLoad(&spec, l))
 	}
 	powerModel, err := power.FitModel(pLoads, pPowers)
 	if err != nil {

@@ -28,6 +28,7 @@ type routeScored struct {
 	vm       *cluster.VM
 	headroom float64 // 0 = at risk
 	capacity float64 // tokens this tick
+	hash     uint64  // consolidation rank, precomputed once per scoring
 }
 
 // riskGate is the utilization of a limit beyond which no further demand is
@@ -51,42 +52,31 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 	throttleC := st.Spec.ThrottleTempC
 	tickSecs := st.Tick.Seconds()
 	scoredInsts := r.scored[:0]
-	totalCap := 0.0
+	aggCap := 0.0 // serving capacity of instances with any headroom
 	for _, vm := range insts {
 		in := vm.Instance
 		if in.Reloading() {
-			scoredInsts = append(scoredInsts, routeScored{vm: vm})
+			scoredInsts = append(scoredInsts, routeScored{vm: vm, hash: routeHash(ep.ID, vm.Server)})
 			continue
 		}
 		srv := st.DC.Servers[vm.Server]
 		rowUse := st.RowPowerW[srv.Row] / (st.Budget.RowLimitW(srv.Row) + 1)
 		aisleUse := st.AisleDemandCFM[srv.Aisle] / (st.AisleLimitCFM(srv.Aisle) + 1)
-		maxTemp := 0.0
-		for _, t := range st.GPUTemps(vm.Server) {
-			if t > maxTemp {
-				maxTemp = t
-			}
-		}
-		tempUse := maxTemp / (throttleC - 2)
+		tempUse := st.ServerHotGPUTempC[vm.Server] / (throttleC - 2)
 		head := headroomOf(rowUse, aisleUse, tempUse)
-		entry, ok := st.ProfileFor(vm.Server).Entry(in.Config)
 		capTokens := 0.0
-		if ok {
-			capTokens = entry.Goodput * tickSecs
+		if g, ok := in.ConfigGoodput(st.ProfileFor(vm.Server)); ok {
+			capTokens = g * tickSecs
 		}
-		scoredInsts = append(scoredInsts, routeScored{vm: vm, headroom: head, capacity: capTokens})
-		totalCap += capTokens * head
+		scoredInsts = append(scoredInsts, routeScored{vm: vm, headroom: head, capacity: capTokens, hash: routeHash(ep.ID, vm.Server)})
+		if head > 0 {
+			aggCap += capTokens
+		}
 	}
 	r.scored = scoredInsts // keep the grown buffer for the next call
 
 	demand := prompt + output
 	promptShare := prompt / demand
-	aggCap := 0.0
-	for _, s := range scoredInsts {
-		if s.headroom > 0 {
-			aggCap += s.capacity
-		}
-	}
 
 	// Low-load regime: consolidate onto a stable subset of safe instances
 	// (energy saving + KV-cache affinity: the same instances keep serving
@@ -99,7 +89,7 @@ func (r *router) route(st *cluster.State, ep trace.EndpointSpec, prompt, output 
 		for i := range order {
 			order[i] = i
 		}
-		consolidationSort(order, scoredInsts, ep.ID)
+		consolidationSort(order, scoredInsts)
 		remaining := demand
 		for _, idx := range order {
 			if remaining <= 0 {
@@ -217,7 +207,7 @@ func headroomOf(rowUse, aisleUse, tempUse float64) float64 {
 // sort.SliceStable allocates its closure header on every call and this runs
 // per endpoint per tick; endpoint fleets are tens of instances, where
 // insertion sort is also the faster algorithm.
-func consolidationSort(order []int, scored []routeScored, endpoint int) {
+func consolidationSort(order []int, scored []routeScored) {
 	less := func(a, b int) bool {
 		ia, ib := scored[a], scored[b]
 		if (ia.headroom > 0) != (ib.headroom > 0) {
@@ -232,7 +222,7 @@ func consolidationSort(order []int, scored []routeScored, endpoint int) {
 		if ba != bb {
 			return ba
 		}
-		return routeHash(endpoint, ia.vm.Server) < routeHash(endpoint, ib.vm.Server)
+		return ia.hash < ib.hash
 	}
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0 && less(order[j], order[j-1]); j-- {

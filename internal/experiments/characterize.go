@@ -207,12 +207,12 @@ func Fig6(p Params) (*Report, error) {
 		at := time.Duration(day)*24*time.Hour + 14*time.Hour
 		util := load.At(at)
 		inlet := thermal.InletTemp(srv, outside.At(at), 0.6, 0)
-		gpuW := power.GPUPower(spec, util, 1)
+		gpuW := power.GPUPower(&spec, util, 1)
 		frac := gpuW / spec.GPUTDPW
 		gpuT := thermal.GPUTemp(srv, 0, inlet, frac)
 		memT := thermal.MemTemp(gpuT, 0.4)
-		serverW := power.ServerPowerAtUniformLoad(spec, util)
-		outlet := thermal.OutletTemp(inlet, serverW, thermal.Airflow(spec, util))
+		serverW := power.ServerPowerAtUniformLoad(&spec, util)
+		outlet := thermal.OutletTemp(inlet, serverW, thermal.Airflow(&spec, util))
 		r.addf("%-5d %8.1f %8.1f %8.1f %8.1f %8.0fW", day, inlet, outlet, gpuT, memT, gpuW)
 	}
 	r.notef("paper Fig. 6: GPU tracks load between ≈30 °C idle and ≈70 °C busy; outlet sits above inlet")
@@ -380,8 +380,8 @@ func Fig11(p Params) (*Report, error) {
 	gpuFrac := make([]float64, len(loads))
 	serverW := make([]float64, len(loads))
 	for v, load := range loads {
-		gpuFrac[v] = power.GPUPower(spec, load, 1) / spec.GPUTDPW
-		serverW[v] = power.ServerPowerAtUniformLoad(spec, load)
+		gpuFrac[v] = power.GPUPower(&spec, load, 1) / spec.GPUTDPW
+		serverW[v] = power.ServerPowerAtUniformLoad(&spec, load)
 	}
 	// The hottest-GPU temperature of (server, VM) does not depend on the
 	// permutation either: evaluate the thermal surface once for every pair
@@ -509,7 +509,7 @@ func Fig13(p Params) (*Report, error) {
 		at := time.Duration(day)*24*time.Hour + 14*time.Hour
 		rowW := 0.0
 		for i := 0; i < 40 && i < len(iaas); i++ {
-			rowW += power.ServerPowerAtUniformLoad(spec, iaas[i].Load.At(at))
+			rowW += power.ServerPowerAtUniformLoad(&spec, iaas[i].Load.At(at))
 		}
 		rows = append(rows, rowW)
 		if rowW > peakRow {
@@ -558,7 +558,7 @@ func Fig14(p Params) (*Report, error) {
 		for rIdx := range rowVMs {
 			sum := 0.0
 			for _, vm := range rowVMs[rIdx] {
-				sum += power.ServerPowerAtUniformLoad(spec, vm.Load.At(at))
+				sum += power.ServerPowerAtUniformLoad(&spec, vm.Load.At(at))
 			}
 			rowSeries[rIdx][i] = sum
 		}
@@ -582,14 +582,16 @@ func Fig14(p Params) (*Report, error) {
 	r.Lines = append(r.Lines, cdfRow("row err % P99", rowErrs, regress.Percentile))
 	r.addf("row-based P99 template underpredicts %.1f%% of row-hours", float64(under)/float64(len(rowErrs))*100)
 
-	// Customer-based per-VM prediction at several percentiles.
+	// Customer-based per-VM prediction at several percentiles. The series
+	// buffer is scratch reused across every (percentile, VM) pair — each
+	// pass overwrites all of it — instead of 120 fresh two-week slices.
+	series := make([]float64, total)
 	for _, pct := range []float64{50, 90, 99} {
 		var errs []float64
 		u := 0
 		for i := 0; i < 40 && i < len(active); i++ {
-			series := make([]float64, total)
 			for k := range series {
-				series[k] = power.ServerPowerAtUniformLoad(spec, active[i].Load.At(time.Duration(k)*10*time.Minute))
+				series[k] = power.ServerPowerAtUniformLoad(&spec, active[i].Load.At(time.Duration(k)*10*time.Minute))
 			}
 			tpl, err := power.BuildTemplate(series[:week], samplesPerHour, pct)
 			if err != nil {

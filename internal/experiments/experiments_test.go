@@ -165,3 +165,26 @@ func TestTable1Directions(t *testing.T) {
 		}
 	}
 }
+
+// TestFig14AllocsPerRun pins the allocation budget of the template
+// experiment. Fig14 builds 128 hour-of-week templates; before the flat
+// bucket carving in power.buildTemplate (plus in-place percentiles and the
+// reused series scratch here) it cost ~151k allocations per run — the worst
+// in the benchmark suite by 20×. The budget has ~4× headroom over the
+// current ~570 so incidental drift passes, but an accidental return to
+// per-bucket growth fails loudly.
+func TestFig14AllocsPerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second allocation measurement skipped in -short")
+	}
+	p := QuickParams()
+	allocs := testing.AllocsPerRun(1, func() {
+		if _, err := Fig14(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 2500
+	if allocs > budget {
+		t.Errorf("Fig14 allocated %.0f times per run, budget %d", allocs, budget)
+	}
+}

@@ -23,6 +23,13 @@ type Config struct {
 	// fleet.
 	MixGPU      GPUModel
 	MixFraction float64
+	// FleetScale multiplies the aisle count at generation time (rounded to
+	// the nearest whole aisle, floor 1): the hyperscale axis. A 10–100×
+	// fleet keeps the preset's per-row/per-aisle topology, so power
+	// envelopes and AHU provisioning stay at the shape the physics were
+	// validated against — the datacenter just has more aisles. 0 (the
+	// default) means 1× (the preset's size).
+	FleetScale float64
 	// AirflowMargin and PowerMargin are the provisioning headroom over the
 	// nominal aggregate peak (airflow per aisle, power per row). Operators
 	// provision for peak load (§2.1, §2.2), so margins are small.
@@ -191,6 +198,15 @@ const NumUPS = 4
 func New(cfg Config) (*Datacenter, error) {
 	if cfg.Aisles <= 0 || cfg.RacksPerRow <= 0 || cfg.ServersPerRack <= 0 {
 		return nil, fmt.Errorf("layout: non-positive dimensions in config %+v", cfg)
+	}
+	if cfg.FleetScale < 0 {
+		return nil, fmt.Errorf("layout: negative fleet scale %v", cfg.FleetScale)
+	}
+	if cfg.FleetScale > 0 {
+		cfg.Aisles = int(float64(cfg.Aisles)*cfg.FleetScale + 0.5)
+		if cfg.Aisles < 1 {
+			cfg.Aisles = 1
+		}
 	}
 	if cfg.AirflowDesignLoad == 0 {
 		cfg.AirflowDesignLoad = 0.85

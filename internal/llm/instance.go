@@ -49,12 +49,37 @@ type Instance struct {
 	prefillFrac float64 // GPUPowerFrac(Spec, Config, Prefill)
 	decodeFrac  float64 // GPUPowerFrac(Spec, Config, Decode)
 	gpuIdleFrac float64 // Spec.GPUIdleW / Spec.GPUTDPW
+	slackFull   float64 // TTFT slack at full speed: SLOs.TTFT - AvgPromptTokens/prefillRate
+
+	// Step is called once per instance per tick with the same dt, so the
+	// duration→seconds conversions are memoized on the dt value.
+	lastDt     time.Duration
+	cachedSecs float64
+	cachedSub  float64
 
 	// Cumulative accounting.
 	ServedTokens      float64
 	CompletedRequests float64
 	QualityWeight     float64 // quality-weighted completed requests
 	SLOViolatedReqs   float64
+
+	// Cached Profile.Entry goodput lookup for ConfigGoodput: the router asks
+	// for the current configuration's goodput every tick, while the
+	// configuration (and profile) change rarely.
+	gpProfile *Profile
+	gpConfig  Config
+	gpGoodput float64
+	gpOK      bool
+}
+
+// ConfigGoodput returns p.Entry(in.Config).Goodput, memoized on (profile,
+// config). Profiles are immutable once built, so the cache is sound.
+func (in *Instance) ConfigGoodput(p *Profile) (float64, bool) {
+	if in.gpProfile != p || in.gpConfig != in.Config {
+		e, ok := p.Entry(in.Config)
+		in.gpProfile, in.gpConfig, in.gpGoodput, in.gpOK = p, in.Config, e.Goodput, ok
+	}
+	return in.gpGoodput, in.gpOK
 }
 
 // NewInstance builds an instance at the given configuration.
@@ -75,6 +100,7 @@ func (in *Instance) refreshRates() {
 	in.prefillFrac = GPUPowerFrac(in.Spec, in.Config, Prefill)
 	in.decodeFrac = GPUPowerFrac(in.Spec, in.Config, Decode)
 	in.gpuIdleFrac = in.Spec.GPUIdleW / in.Spec.GPUTDPW
+	in.slackFull = in.SLOs.TTFT.Seconds() - in.Work.AvgPromptTokens/in.prefillRate
 }
 
 // Enqueue adds a request's tokens to the instance queues.
@@ -131,11 +157,33 @@ func (in *Instance) DemandSeconds() float64 {
 // Step — the demand signal the Instance Configurator sizes against.
 func (in *Instance) TickEnqueued() float64 { return in.enqueuedTokens }
 
+// StepDrained advances the instance by dt if and only if it is drained (no
+// queued work, no reload in flight), reporting whether it applied — the
+// exact state updates Step's drained early-return performs. The tick kernel
+// pairs it with precompiled idle-server constants to skip the full physics
+// of drained servers; callers must fall back to Step when it returns false.
+func (in *Instance) StepDrained(dt time.Duration) bool {
+	if in.pendingPrefill != 0 || in.pendingDecode != 0 || in.reloadLeft != 0 {
+		return false
+	}
+	in.enqueuedTokens = 0
+	in.affinityNow += dt
+	in.BusyFrac, in.PrefillShare, in.BacklogSecs = 0, 0, 0
+	return true
+}
+
 // Step advances the instance by dt, draining queues and updating telemetry.
 func (in *Instance) Step(dt time.Duration) {
 	in.enqueuedTokens = 0
 	in.affinityNow += dt
 	in.BusyFrac, in.PrefillShare = 0, 0
+	if in.pendingPrefill == 0 && in.pendingDecode == 0 && in.reloadLeft == 0 {
+		// Drained instance: the sub-step loop would move zero tokens and
+		// land on exactly this telemetry, so skip it — drained instances
+		// dominate off-peak ticks.
+		in.BacklogSecs = 0
+		return
+	}
 	if in.reloadLeft > 0 {
 		if in.reloadLeft >= dt {
 			in.reloadLeft -= dt
@@ -145,7 +193,13 @@ func (in *Instance) Step(dt time.Duration) {
 		dt -= in.reloadLeft
 		in.reloadLeft = 0
 	}
-	secs := dt.Seconds()
+	const subSteps = 4
+	if dt != in.lastDt {
+		in.lastDt = dt
+		in.cachedSecs = dt.Seconds()
+		in.cachedSub = in.cachedSecs / subSteps
+	}
+	secs := in.cachedSecs
 	if secs <= 0 {
 		return
 	}
@@ -160,28 +214,40 @@ func (in *Instance) Step(dt time.Duration) {
 	// early in the tick get their decode work served within the same tick —
 	// the fluid analogue of continuous batching keeping the running batch
 	// fed while admitting prefills with leftover capacity.
-	const subSteps = 4
+	subBudget := in.cachedSub
 	var donePrefill, doneDecode, prefillSecs, decodeSecs float64
 	for i := 0; i < subSteps; i++ {
-		budget := secs / subSteps
-		tDec := in.pendingDecode / dr
-		if tDec > budget {
-			tDec = budget
+		// An exactly-empty queue contributes +0.0 to every accumulator
+		// below, so skipping it (or the whole remaining tick once both are
+		// empty) is bit-identical and saves the divisions.
+		if in.pendingDecode == 0 && in.pendingPrefill == 0 {
+			break
 		}
-		in.pendingDecode -= tDec * dr
-		doneDecode += tDec * dr
-		decodeSecs += tDec
-		budget -= tDec
+		budget := subBudget
+		if in.pendingDecode != 0 {
+			tDec := in.pendingDecode / dr
+			if tDec > budget {
+				tDec = budget
+			}
+			in.pendingDecode -= tDec * dr
+			doneDecode += tDec * dr
+			decodeSecs += tDec
+			budget -= tDec
+		}
 
-		tPre := in.pendingPrefill / pr
-		if tPre > budget {
-			tPre = budget
+		// A zero remaining budget (decode consumed the whole sub-step
+		// exactly) or an empty prefill queue makes the block a no-op.
+		if budget != 0 && in.pendingPrefill != 0 {
+			tPre := in.pendingPrefill / pr
+			if tPre > budget {
+				tPre = budget
+			}
+			prompt := tPre * pr
+			in.pendingPrefill -= prompt
+			in.pendingDecode += prompt * in.outputRatio
+			donePrefill += prompt
+			prefillSecs += tPre
 		}
-		prompt := tPre * pr
-		in.pendingPrefill -= prompt
-		in.pendingDecode += prompt * in.outputRatio
-		donePrefill += prompt
-		prefillSecs += tPre
 	}
 	busySecs := prefillSecs + decodeSecs
 	if busySecs == 0 {
@@ -198,8 +264,13 @@ func (in *Instance) Step(dt time.Duration) {
 		in.CompletedRequests += reqs
 		in.QualityWeight += reqs * in.Config.Quality()
 		// A request completed while the backlog exceeds the TTFT slack is
-		// SLO-violated in the fluid approximation.
-		slack := in.SLOs.TTFT.Seconds() - in.Work.AvgPromptTokens/pr
+		// SLO-violated in the fluid approximation. At full speed pr equals
+		// prefillRate bit for bit (x*1 == x), so the precomputed slack
+		// applies; capped instances recompute against the scaled rate.
+		slack := in.slackFull
+		if sf != 1 {
+			slack = in.SLOs.TTFT.Seconds() - in.Work.AvgPromptTokens/pr
+		}
 		if in.BacklogSecs > slack {
 			in.SLOViolatedReqs += reqs
 		}

@@ -217,15 +217,15 @@ func MemIntensity(p Phase, c Config) float64 {
 // GPUPowerFrac returns the per-active-GPU power fraction (power/TDP) of a
 // phase under a configuration at full instance load.
 func GPUPowerFrac(spec layout.GPUSpec, c Config, p Phase) float64 {
-	w := power.GPUPower(spec, phaseUtil(p, c), c.FreqFrac)
+	w := power.GPUPower(&spec, phaseUtil(p, c), c.FreqFrac)
 	return w / spec.GPUTDPW
 }
 
 // ServerPowerW returns total server power for an instance running a phase at
 // full load: TP active GPUs plus idle GPUs plus load-dependent components.
 func ServerPowerW(spec layout.GPUSpec, c Config, p Phase) float64 {
-	active := power.GPUPower(spec, phaseUtil(p, c), c.FreqFrac) * float64(c.TP)
+	active := power.GPUPower(&spec, phaseUtil(p, c), c.FreqFrac) * float64(c.TP)
 	idle := spec.GPUIdleW * float64(spec.GPUsPerServer-c.TP)
 	loadFrac := phaseUtil(p, c) * float64(c.TP) / float64(spec.GPUsPerServer)
-	return power.ServerPower(spec, active+idle, loadFrac, 0.3+0.7*loadFrac)
+	return power.ServerPower(&spec, active+idle, loadFrac, 0.3+0.7*loadFrac)
 }

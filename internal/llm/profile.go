@@ -35,6 +35,13 @@ type Profile struct {
 	// per instance per tick by the router, so the lookup must not scan (and
 	// copy) the whole entry table.
 	index map[Config]int
+
+	// FullQuality lists the positions in Entries (preserving the goodput
+	// ordering) whose Quality is at least 1 — the only entries that can pass
+	// a quality floor of 1, which is what the Instance Configurator requires
+	// outside emergencies. Scanning just these skips the reduced-quality
+	// majority of the table on the common path.
+	FullQuality []int
 }
 
 // BuildProfile characterizes every valid configuration, computing the data
@@ -55,6 +62,9 @@ func BuildProfile(spec layout.GPUSpec, w Workload) *Profile {
 	p.index = make(map[Config]int, len(p.Entries))
 	for i, e := range p.Entries {
 		p.index[e.Config] = i
+		if e.Quality >= 1 {
+			p.FullQuality = append(p.FullQuality, i)
+		}
 	}
 	return p
 }

@@ -21,7 +21,7 @@ const dvfsExponent = 2.5
 
 // GPUPower returns the ground-truth power of one GPU at a utilization in
 // [0,1] and a frequency fraction (freq / max freq) in (0,1].
-func GPUPower(spec layout.GPUSpec, util, freqFrac float64) float64 {
+func GPUPower(spec *layout.GPUSpec, util, freqFrac float64) float64 {
 	util = units.Clamp01(util)
 	freqFrac = units.Clamp(freqFrac, spec.MinFreqGHz/spec.MaxFreqGHz, 1)
 	// Uncapped GPUs are the common case in the simulator's hot loop;
@@ -37,7 +37,7 @@ func GPUPower(spec layout.GPUSpec, util, freqFrac float64) float64 {
 
 // FanPower returns fan power at a fan-speed fraction; fan power grows with
 // the cube of speed.
-func FanPower(spec layout.GPUSpec, fanFrac float64) float64 {
+func FanPower(spec *layout.GPUSpec, fanFrac float64) float64 {
 	f := units.Clamp01(fanFrac)
 	return spec.FanMaxW * f * f * f
 }
@@ -47,14 +47,14 @@ func FanPower(spec layout.GPUSpec, fanFrac float64) float64 {
 // its fan-speed fraction. Matches the paper's observation that idle servers
 // still draw significant power and that fans and other components scale
 // with load.
-func ServerPower(spec layout.GPUSpec, gpuPowerW, loadFrac, fanFrac float64) float64 {
+func ServerPower(spec *layout.GPUSpec, gpuPowerW, loadFrac, fanFrac float64) float64 {
 	other := units.Lerp(spec.ServerOtherW, spec.ServerOtherMaxW, units.Clamp01(loadFrac))
 	return other + gpuPowerW + FanPower(spec, fanFrac)
 }
 
 // ServerPowerAtUniformLoad is a convenience for profiling and placement
 // estimation: all GPUs at the same utilization and full frequency.
-func ServerPowerAtUniformLoad(spec layout.GPUSpec, util float64) float64 {
+func ServerPowerAtUniformLoad(spec *layout.GPUSpec, util float64) float64 {
 	gpu := GPUPower(spec, util, 1) * float64(spec.GPUsPerServer)
 	return ServerPower(spec, gpu, util, 0.3+0.7*units.Clamp01(util))
 }
@@ -62,7 +62,7 @@ func ServerPowerAtUniformLoad(spec layout.GPUSpec, util float64) float64 {
 // FreqFracForPower inverts GPUPower: the frequency fraction at which a GPU
 // running at util draws at most targetW. Returns the minimum frequency
 // fraction if even that is too much. Used by power capping.
-func FreqFracForPower(spec layout.GPUSpec, util, targetW float64) float64 {
+func FreqFracForPower(spec *layout.GPUSpec, util, targetW float64) float64 {
 	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
 	util = units.Clamp01(util)
 	if util == 0 {

@@ -12,18 +12,18 @@ import (
 
 func TestGPUPowerEndpoints(t *testing.T) {
 	spec := layout.Spec(layout.A100)
-	if got := GPUPower(spec, 0, 1); got != spec.GPUIdleW {
+	if got := GPUPower(&spec, 0, 1); got != spec.GPUIdleW {
 		t.Errorf("idle GPU power = %v, want %v", got, spec.GPUIdleW)
 	}
-	if got := GPUPower(spec, 1, 1); math.Abs(got-spec.GPUTDPW) > 1e-9 {
+	if got := GPUPower(&spec, 1, 1); math.Abs(got-spec.GPUTDPW) > 1e-9 {
 		t.Errorf("full GPU power = %v, want TDP %v", got, spec.GPUTDPW)
 	}
 }
 
 func TestGPUPowerFrequencyScaling(t *testing.T) {
 	spec := layout.Spec(layout.A100)
-	full := GPUPower(spec, 1, 1)
-	half := GPUPower(spec, 1, 0.5)
+	full := GPUPower(&spec, 1, 1)
+	half := GPUPower(&spec, 1, 0.5)
 	if half >= full {
 		t.Error("lower frequency must lower power")
 	}
@@ -37,11 +37,11 @@ func TestGPUPowerFrequencyScaling(t *testing.T) {
 
 func TestGPUPowerClampsInputs(t *testing.T) {
 	spec := layout.Spec(layout.A100)
-	if GPUPower(spec, 2, 1) != GPUPower(spec, 1, 1) {
+	if GPUPower(&spec, 2, 1) != GPUPower(&spec, 1, 1) {
 		t.Error("utilization above 1 must clamp")
 	}
 	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
-	if GPUPower(spec, 1, 0.01) != GPUPower(spec, 1, minFrac) {
+	if GPUPower(&spec, 1, 0.01) != GPUPower(&spec, 1, minFrac) {
 		t.Error("frequency below hardware minimum must clamp")
 	}
 }
@@ -54,7 +54,7 @@ func TestGPUPowerMonotoneProperty(t *testing.T) {
 		if u1 > u2 {
 			u1, u2 = u2, u1
 		}
-		return GPUPower(spec, u2, 1) >= GPUPower(spec, u1, 1)
+		return GPUPower(&spec, u2, 1) >= GPUPower(&spec, u1, 1)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -63,8 +63,8 @@ func TestGPUPowerMonotoneProperty(t *testing.T) {
 
 func TestServerPowerAtUniformLoad(t *testing.T) {
 	spec := layout.Spec(layout.A100)
-	idle := ServerPowerAtUniformLoad(spec, 0)
-	full := ServerPowerAtUniformLoad(spec, 1)
+	idle := ServerPowerAtUniformLoad(&spec, 0)
+	full := ServerPowerAtUniformLoad(&spec, 1)
 	// Idle servers consume significant power (§2.2) — above 1 kW for DGX.
 	if idle < 1000 {
 		t.Errorf("idle server power = %v, want > 1 kW", idle)
@@ -80,10 +80,10 @@ func TestServerPowerAtUniformLoad(t *testing.T) {
 
 func TestFanPowerCubic(t *testing.T) {
 	spec := layout.Spec(layout.A100)
-	if FanPower(spec, 1) != spec.FanMaxW {
+	if FanPower(&spec, 1) != spec.FanMaxW {
 		t.Error("full fan power must equal FanMaxW")
 	}
-	if got := FanPower(spec, 0.5); math.Abs(got-spec.FanMaxW/8) > 1e-9 {
+	if got := FanPower(&spec, 0.5); math.Abs(got-spec.FanMaxW/8) > 1e-9 {
 		t.Errorf("half-speed fan power = %v, want max/8", got)
 	}
 }
@@ -91,19 +91,19 @@ func TestFanPowerCubic(t *testing.T) {
 func TestFreqFracForPowerInverts(t *testing.T) {
 	spec := layout.Spec(layout.A100)
 	for _, util := range []float64{0.3, 0.6, 1.0} {
-		target := GPUPower(spec, util, 0.85)
-		frac := FreqFracForPower(spec, util, target)
+		target := GPUPower(&spec, util, 0.85)
+		frac := FreqFracForPower(&spec, util, target)
 		if math.Abs(frac-0.85) > 1e-9 {
 			t.Errorf("util %v: inverted frac = %v, want 0.85", util, frac)
 		}
 	}
 	// Unreachably low target clamps to the hardware minimum.
 	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
-	if got := FreqFracForPower(spec, 1, 10); got != minFrac {
+	if got := FreqFracForPower(&spec, 1, 10); got != minFrac {
 		t.Errorf("impossible target frac = %v, want min %v", got, minFrac)
 	}
 	// Idle GPUs need no capping.
-	if got := FreqFracForPower(spec, 0, 100); got != 1 {
+	if got := FreqFracForPower(&spec, 0, 100); got != 1 {
 		t.Errorf("idle-GPU frac = %v, want 1", got)
 	}
 }
@@ -115,7 +115,7 @@ func TestFitModelRecoversServerPower(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		l := rng.Float64()
 		loads = append(loads, l)
-		powers = append(powers, ServerPowerAtUniformLoad(spec, l)+rng.NormFloat64()*20)
+		powers = append(powers, ServerPowerAtUniformLoad(&spec, l)+rng.NormFloat64()*20)
 	}
 	m, err := FitModel(loads, powers)
 	if err != nil {
@@ -124,7 +124,7 @@ func TestFitModelRecoversServerPower(t *testing.T) {
 	var pred, actual []float64
 	for l := 0.0; l <= 1; l += 0.05 {
 		pred = append(pred, m.Predict(l))
-		actual = append(actual, ServerPowerAtUniformLoad(spec, l))
+		actual = append(actual, ServerPowerAtUniformLoad(&spec, l))
 	}
 	if mae := regress.MAE(pred, actual); mae > 60 {
 		t.Errorf("power model MAE = %.1f W, want < 60 W (< 1%% of TDP)", mae)

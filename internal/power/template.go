@@ -58,17 +58,40 @@ func buildTemplate(history history, samplesPerHour int, percentile float64) (Tem
 	// handful of samples, making high percentiles no better than the sample
 	// max; the ±1 h window both enlarges the bucket and folds in the
 	// diurnal slope, which is what makes P99 templates conservative.
+	//
+	// Bucket sizes are known exactly up front (every sample lands in three
+	// buckets), so all 168 buckets are carved from one flat backing array —
+	// one allocation instead of ~1300 append growths per template, which
+	// matters both for the per-tick policy path (BuildTemplateRing) and the
+	// template-heavy experiments (Fig. 14).
+	n := history.Len()
+	var counts [HoursPerWeek]int
+	for i := 0; i < n; i++ {
+		hour := (i / samplesPerHour) % HoursPerWeek
+		for _, h := range [3]int{hour - 1, hour, hour + 1} {
+			counts[(h+HoursPerWeek)%HoursPerWeek]++
+		}
+	}
+	flat := make([]float64, 0, 3*n)
 	var buckets [HoursPerWeek][]float64
-	for i, n := 0, history.Len(); i < n; i++ {
+	off := 0
+	for h, c := range counts {
+		buckets[h] = flat[off : off : off+c]
+		off += c
+	}
+	for i := 0; i < n; i++ {
 		v := history.At(i)
 		hour := (i / samplesPerHour) % HoursPerWeek
 		for _, h := range [3]int{hour - 1, hour, hour + 1} {
-			buckets[(h+HoursPerWeek)%HoursPerWeek] = append(buckets[(h+HoursPerWeek)%HoursPerWeek], v)
+			b := (h + HoursPerWeek) % HoursPerWeek
+			buckets[b] = append(buckets[b], v)
 		}
 	}
 	t := Template{Percentile: percentile}
 	for h := range buckets {
-		t.HourlyW[h] = regress.Percentile(buckets[h], percentile)
+		// The buckets are scratch, so the percentile may sort them in
+		// place instead of copying each one.
+		t.HourlyW[h] = regress.PercentileInPlace(buckets[h], percentile)
 	}
 	return t, nil
 }

@@ -78,6 +78,17 @@ func Percentile(xs []float64, p float64) float64 {
 		return math.NaN()
 	}
 	sorted := append([]float64(nil), xs...)
+	return PercentileInPlace(sorted, p)
+}
+
+// PercentileInPlace is Percentile without the defensive copy: it sorts xs.
+// For callers whose input is scratch anyway (power's template buckets) the
+// copy per call is pure overhead.
+func PercentileInPlace(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := xs
 	sortFloat64s(sorted)
 	if p <= 0 {
 		return sorted[0]

@@ -57,6 +57,11 @@ type RunOptions struct {
 	// Parallel bounds the worker pool (≤ 0 selects GOMAXPROCS). Reports are
 	// byte-identical across worker counts.
 	Parallel int
+	// Shards overrides every run's tick-kernel shard count when non-zero
+	// (see sim.Scenario.Shards; negative selects GOMAXPROCS). Reports are
+	// byte-identical at any shard count, so this only trades intra-run
+	// latency against the cross-run parallelism of Parallel.
+	Shards int
 }
 
 // Campaign expands the spec into its grid. scale overrides the spec's Scale
@@ -114,7 +119,11 @@ type Result struct {
 // result is deterministic and independent of the worker count.
 func (c *Campaign) Run(opt RunOptions) (*Result, error) {
 	compiled, err := experiments.RunParallel(len(c.Points), opt.Parallel, func(_, pi int) (*sim.CompiledScenario, error) {
-		cs, err := sim.Compile(c.Points[pi].Scenario)
+		scn := c.Points[pi].Scenario
+		if opt.Shards != 0 {
+			scn.Shards = opt.Shards // runtime-only: never changes the report
+		}
+		cs, err := sim.Compile(scn)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: spec %q: compiling point %d: %w", c.Spec.Name, pi, err)
 		}

@@ -65,6 +65,12 @@ type LayoutSpec struct {
 	MixGPU         string   `json:"mix_gpu,omitempty"`      // heterogeneous fleets
 	MixFraction    *float64 `json:"mix_fraction,omitempty"` // fraction of aisles on MixGPU
 	Seed           *uint64  `json:"seed,omitempty"`
+	// FleetScale multiplies the aisle count at layout generation (the
+	// hyperscale axis): 10 provisions ten times the preset's fleet with the
+	// same per-row/per-aisle shape. Composes with Scale (which shrinks
+	// toward quick runs) — FleetScale applies to the already-scaled aisle
+	// count. Also sweepable via the layout.fleet_scale axis.
+	FleetScale *float64 `json:"fleet_scale,omitempty"`
 }
 
 // WorkloadSpec overrides workload generation. Absent fields keep the
@@ -264,6 +270,13 @@ type Spec struct {
 	Oversubscribe *float64      `json:"oversubscribe,omitempty"`
 	Failures      []FailureSpec `json:"failures,omitempty"`
 
+	// Shards splits the tick kernel's per-server phases across a bounded
+	// worker pool (see sim.Scenario.Shards): 0 or 1 runs serially, n ≥ 2
+	// uses n fixed chunks, negative selects GOMAXPROCS. Reports are
+	// byte-identical at any shard count, so this is a throughput knob, not
+	// a scenario parameter — tapas-campaign's -shards flag overrides it.
+	Shards *int `json:"shards,omitempty"`
+
 	// Policies are evaluated on every grid point: "baseline", "tapas", or a
 	// comma list of levers ("place,route"). Default ["baseline", "tapas"].
 	Policies []string   `json:"policies,omitempty"`
@@ -339,6 +352,9 @@ func (s *Spec) Validate() error {
 	}
 	if f := s.Layout.MixFraction; f != nil && (*f < 0 || *f > 1) {
 		return fail("layout.mix_fraction %v out of [0,1]", *f)
+	}
+	if f := s.Layout.FleetScale; f != nil && *f <= 0 {
+		return fail("layout.fleet_scale %v must be positive", *f)
 	}
 	// A mix fraction without a distinct second generation would silently
 	// produce a uniform fleet; require an explicit, different mix_gpu.
@@ -555,6 +571,9 @@ func (s *Spec) baseScenario(scale float64) (sim.Scenario, error) {
 	if lo.MixFraction != nil {
 		sc.Layout.MixFraction = *lo.MixFraction
 	}
+	if lo.FleetScale != nil {
+		sc.Layout.FleetScale = *lo.FleetScale
+	}
 	if lo.Seed != nil {
 		sc.Layout.Seed = *lo.Seed
 	}
@@ -591,6 +610,9 @@ func (s *Spec) baseScenario(scale float64) (sim.Scenario, error) {
 	}
 	if s.Oversubscribe != nil {
 		sc.Oversubscribe = *s.Oversubscribe
+	}
+	if s.Shards != nil {
+		sc.Shards = *s.Shards
 	}
 	for _, f := range s.Failures {
 		ev, err := f.event()

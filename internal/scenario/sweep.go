@@ -135,6 +135,20 @@ var axisSetters = map[string]func(*sim.Scenario, AxisValue) error{
 		sc.Layout.GPU = m
 		return nil
 	},
+	// The hyperscale axis: one campaign sweeps the same scenario over 1×,
+	// 10×, 100× fleets. Applied at layout generation, so the setter simply
+	// overwrites the factor — no compounding across grid points.
+	"layout.fleet_scale": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("layout.fleet_scale")
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("layout.fleet_scale %v must be positive", f)
+		}
+		sc.Layout.FleetScale = f
+		return nil
+	},
 	"layout.mix_fraction": func(sc *sim.Scenario, v AxisValue) error {
 		f, err := v.number("layout.mix_fraction")
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/thermal"
 	"github.com/tapas-sim/tapas/internal/trace"
+	"github.com/tapas-sim/tapas/internal/units"
 )
 
 // CompiledScenario holds every run-invariant artifact of a Scenario, built
@@ -27,7 +28,7 @@ type CompiledScenario struct {
 	// Scenario is the descriptor the artifacts were compiled from. The
 	// compile-relevant fields (Layout, Workload, Region, Duration,
 	// StartOffset, Oversubscribe) must not be changed after compilation;
-	// runtime-only fields (Tick, Failures, RecordRowSeries, Observer) may be
+	// runtime-only fields (Tick, Failures, RecordRowSeries, Observer, Shards) may be
 	// varied per run via Variant.
 	Scenario Scenario
 
@@ -48,6 +49,15 @@ type CompiledScenario struct {
 	srvModel   []uint8
 	fleetTDPW  float64
 
+	// Idle tick-kernel constants, precomputed with the exact operation
+	// sequence the fused tick loop runs for an idle uncapped server, so the
+	// engine's dirty-set fast paths substitute them bit for bit:
+	// idleTickWBy is the server power the power pass produces at all-idle
+	// GPU fractions, and idleAirflowBy the fan airflow the airflow pass
+	// derives from that power.
+	idleTickWBy   [layout.GPUModelCount]float64
+	idleAirflowBy [layout.GPUModelCount]float64
+
 	// compiledFrom snapshots the descriptor Compile ran against, so Run can
 	// reject variants that changed compile-relevant fields.
 	compiledFrom Scenario
@@ -59,6 +69,30 @@ type CompiledScenario struct {
 	// Flat per-server topology for the tick kernel's fleet sweeps.
 	srvRow   []int32
 	srvAisle []int32
+
+	// Per-server maxima over the GPU block's thermal coefficients. Rounding
+	// is monotone, so inlet + srvMaxBias + srvMaxGain*cf is a floating-point
+	// upper bound on every GPU temperature the fused loop can produce at
+	// power fraction cf; when that bound stays at or below the throttle
+	// limit the kernel runs the branch-free loop variant.
+	srvMaxBias []float64
+	srvMaxGain []float64
+
+	// vmPhase maps a VM index to an entry of phaseBy — the distinct
+	// PhaseHours values among the workload's un-warped IaaS load patterns
+	// (phases are shared per customer, so there are few). The tick kernel
+	// computes each phase's diurnal sine once per tick instead of once per
+	// IaaS server. -1 marks patterns that must go through LoadPattern.At
+	// (non-IaaS, or time-warped by a trace transform).
+	vmPhase []int32
+	phaseBy []float64
+
+	// rowSpanEnd[row] is the exclusive end of the row's leading contiguous
+	// server-ID span (layouts assign row servers consecutive IDs; only
+	// oversubscription appends out-of-span servers at the end of the ID
+	// space). The dirty-set tick sweeps a clean row's span without
+	// per-server checks.
+	rowSpanEnd []int32
 }
 
 // Compile builds the run-invariant artifacts of a scenario. The returned
@@ -89,11 +123,34 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 		srvAisle:     make([]int32, len(dc.Servers)),
 		srvModel:     make([]uint8, len(dc.Servers)),
 	}
+	cs.srvMaxBias = make([]float64, len(dc.Servers))
+	cs.srvMaxGain = make([]float64, len(dc.Servers))
+	for i := range dc.Servers {
+		base := i * spec.GPUsPerServer
+		maxB, maxG := 0.0, 0.0
+		for g := 0; g < spec.GPUsPerServer; g++ {
+			if b := cs.Coeffs.BiasC[base+g]; b > maxB {
+				maxB = b
+			}
+			if gn := cs.Coeffs.GainC[base+g]; gn > maxG {
+				maxG = gn
+			}
+		}
+		cs.srvMaxBias[i] = maxB
+		cs.srvMaxGain[i] = maxG
+	}
+	cs.rowSpanEnd = make([]int32, len(dc.Rows))
+	for i := range cs.rowSpanEnd {
+		cs.rowSpanEnd[i] = -1
+	}
 	for i, s := range dc.Servers {
 		cs.srvRow[i] = int32(s.Row)
 		cs.srvAisle[i] = int32(s.Aisle)
 		cs.srvModel[i] = uint8(s.GPU.Model)
 		cs.fleetTDPW += s.GPU.ServerTDPW
+		if end := cs.rowSpanEnd[s.Row]; end == -1 || end == int32(i) {
+			cs.rowSpanEnd[s.Row] = int32(i + 1)
+		}
 	}
 	// One serving profile and idle-power table per hardware generation
 	// present; the base generation reuses the profile built above.
@@ -101,11 +158,42 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 	for _, m := range dc.Models() {
 		ms := layout.Spec(m)
 		cs.specBy[m] = ms
-		cs.idleWBy[m] = power.ServerPowerAtUniformLoad(ms, 0)
+		cs.idleWBy[m] = power.ServerPowerAtUniformLoad(&ms, 0)
 		cs.idleFracBy[m] = ms.GPUIdleW / ms.GPUTDPW
 		if cs.profileBy[m] == nil {
 			cs.profileBy[m] = llm.BuildProfile(ms, llm.DefaultWorkload())
 		}
+		// The tick kernel's idle constants replay the fused loop's exact
+		// arithmetic — a per-GPU accumulation at the idle fraction, then
+		// the server-power and airflow passes — so the idle fast paths are
+		// bit-identical to the full sweep. The GPU count is the state's
+		// uniform per-server stride, as in the kernel.
+		mp := &cs.specBy[m]
+		sum := 0.0
+		for g := 0; g < spec.GPUsPerServer; g++ {
+			sum += cs.idleFracBy[m] * mp.GPUTDPW
+		}
+		cs.idleTickWBy[m] = power.ServerPower(mp, sum, 0, thermal.FanFrac(0))
+		heatFrac := units.Clamp01((cs.idleTickWBy[m] - cs.idleWBy[m]) / (mp.ServerTDPW - cs.idleWBy[m]))
+		cs.idleAirflowBy[m] = thermal.Airflow(mp, heatFrac)
+	}
+	cs.vmPhase = make([]int32, len(w.VMs))
+	phaseIdx := make(map[float64]int32)
+	for i, vm := range w.VMs {
+		cs.vmPhase[i] = -1
+		if vm.Kind != trace.IaaS {
+			continue
+		}
+		if ts := vm.Load.TimeScale; ts > 0 && ts != 1 {
+			continue
+		}
+		idx, ok := phaseIdx[vm.Load.PhaseHours]
+		if !ok {
+			idx = int32(len(cs.phaseBy))
+			cs.phaseBy = append(cs.phaseBy, vm.Load.PhaseHours)
+			phaseIdx[vm.Load.PhaseHours] = idx
+		}
+		cs.vmPhase[i] = idx
 	}
 	// Pre-warm the lazily memoized aisle rosters: policies call
 	// Aisle.Servers() in capping paths, and the memo write would race when
@@ -178,7 +266,7 @@ func GenerateWorkload(sc Scenario) (*trace.Workload, error) {
 
 // Variant returns a shallow copy sharing every compiled artifact, with
 // mutate applied to the scenario. Only runtime-only fields may be changed:
-// Tick, Failures, RecordRowSeries, Observer (and shortening Duration).
+// Tick, Failures, RecordRowSeries, Observer, Shards (and shortening Duration).
 // Changing compile-relevant fields (Layout, Workload, Trace, TraceTransforms,
 // Region, StartOffset, Oversubscribe, lengthening Duration) requires a fresh
 // Compile; Run rejects such variants rather than simulate against stale

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// shardPool fans the per-server phases of the tick kernel out over fixed
+// contiguous server-ID chunks. Boundaries are computed once from the shard
+// count alone — never from runtime load — and every cross-server reduction
+// happens serially after run returns, so a run's reports are byte-identical
+// at any shard count (including 1): the parallel phase only writes
+// per-server slots and per-shard partials whose merge order is exact
+// (integer adds, float max).
+//
+// Workers are persistent for the lifetime of the run: shard i is always
+// executed by the same goroutine (shard 0 by the caller), and run blocks
+// until every shard finishes, which both orders the workers' writes before
+// the caller's reduction and keeps the per-tick overhead to one
+// channel-send/receive pair per worker.
+type shardPool struct {
+	bounds []int // len shards+1; shard i covers [bounds[i], bounds[i+1])
+	work   []chan func(shard, lo, hi int)
+	wg     sync.WaitGroup
+}
+
+// normalizeShards resolves a Scenario.Shards setting against the fleet size:
+// negative means GOMAXPROCS, and a shard needs at least one server.
+func normalizeShards(shards, servers int) int {
+	if shards < 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > servers {
+		shards = servers
+	}
+	if shards < 1 {
+		return 1
+	}
+	return shards
+}
+
+// newShardPool starts workers for shards 1..n-1; shard 0 runs on the caller.
+func newShardPool(shards, servers int) *shardPool {
+	p := &shardPool{
+		bounds: make([]int, shards+1),
+		work:   make([]chan func(shard, lo, hi int), shards-1),
+	}
+	for i := 0; i <= shards; i++ {
+		p.bounds[i] = i * servers / shards
+	}
+	for i := range p.work {
+		p.work[i] = make(chan func(shard, lo, hi int))
+		shard := i + 1
+		go func(ch chan func(shard, lo, hi int)) {
+			for f := range ch {
+				f(shard, p.bounds[shard], p.bounds[shard+1])
+				p.wg.Done()
+			}
+		}(p.work[i])
+	}
+	return p
+}
+
+// run executes f once per shard and returns when all shards have finished.
+func (p *shardPool) run(f func(shard, lo, hi int)) {
+	p.wg.Add(len(p.work))
+	for _, ch := range p.work {
+		ch <- f
+	}
+	f(0, p.bounds[0], p.bounds[1])
+	p.wg.Wait()
+}
+
+// close stops the workers; the pool must not be used afterwards.
+func (p *shardPool) close() {
+	for _, ch := range p.work {
+		close(ch)
+	}
+}

@@ -160,7 +160,7 @@ func TestFitAirflowModel(t *testing.T) {
 	loads := []float64{0, 0.25, 0.5, 0.75, 1}
 	flows := make([]float64, len(loads))
 	for i, l := range loads {
-		flows[i] = Airflow(spec, l)
+		flows[i] = Airflow(&spec, l)
 	}
 	m, err := FitAirflowModel(loads, flows)
 	if err != nil {

@@ -97,7 +97,7 @@ func MaxPowerFrac(s *layout.Server, g int, inletC, limitC float64) float64 {
 
 // Airflow returns the fan airflow of a server at the given load fraction.
 // The paper measures a linear relationship matching manufacturer specs.
-func Airflow(spec layout.GPUSpec, loadFrac float64) float64 {
+func Airflow(spec *layout.GPUSpec, loadFrac float64) float64 {
 	return units.Lerp(spec.AirflowIdleCFM, spec.AirflowMaxCFM, units.Clamp01(loadFrac))
 }
 

@@ -147,19 +147,19 @@ func TestMemTempPhases(t *testing.T) {
 
 func TestAirflowLinearAndSpec(t *testing.T) {
 	spec := layout.Spec(layout.A100)
-	idle := Airflow(spec, 0)
-	full := Airflow(spec, 1)
+	idle := Airflow(&spec, 0)
+	full := Airflow(&spec, 1)
 	if idle != spec.AirflowIdleCFM || full != spec.AirflowMaxCFM {
 		t.Errorf("airflow endpoints = %v/%v, want %v/%v", idle, full, spec.AirflowIdleCFM, spec.AirflowMaxCFM)
 	}
-	mid := Airflow(spec, 0.5)
+	mid := Airflow(&spec, 0.5)
 	if math.Abs(mid-(idle+full)/2) > 1e-9 {
 		t.Error("airflow not linear")
 	}
 	// Paper cross-check: 840 CFM at 80% PWM for A100. Our linear function
 	// in load ⇒ at the load giving 80% PWM, airflow ≈ 840.
 	loadFor80PWM := (0.8 - 0.3) / 0.7
-	if a := Airflow(spec, loadFor80PWM); math.Abs(a-840) > 25 {
+	if a := Airflow(&spec, loadFor80PWM); math.Abs(a-840) > 25 {
 		t.Errorf("airflow at 80%% PWM load = %v, want ≈ 840", a)
 	}
 }

@@ -28,22 +28,73 @@ func (p LoadPattern) At(t time.Duration) float64 {
 	if p.TimeScale > 0 && p.TimeScale != 1 {
 		t = time.Duration(math.Round(float64(t) / p.TimeScale))
 	}
-	hours := t.Hours()
-	// Peak mid-afternoon by default; PhaseHours shifts per customer.
-	daily := math.Sin(2 * math.Pi * (hours - 9 - p.PhaseHours) / 24)
+	return p.atWithDaily(t, DailySin(t, p.PhaseHours))
+}
+
+// DailySin is the diurnal sine term of a pattern with the given phase at
+// time t — peak mid-afternoon by default, PhaseHours shifts per customer.
+// Exposed so a caller evaluating many same-phase patterns at one time (the
+// tick kernel: a customer's VMs share their phase) can compute it once and
+// pass it to AtTick.
+func DailySin(t time.Duration, phaseHours float64) float64 {
+	return math.Sin(2 * math.Pi * (t.Hours() - 9 - phaseHours) / 24)
+}
+
+// TickEval precomputes the purely time-dependent terms of atWithDaily —
+// weekend flag, noise bucket index, intra-bucket interpolation — which are
+// shared by every un-warped pattern evaluated at one instant. The tick
+// kernel builds one per tick instead of re-deriving them per VM.
+type TickEval struct {
+	t       time.Duration
+	weekend bool
+	bucket  uint64
+	frac    float64
+}
+
+// NewTickEval captures time t for batched pattern evaluation via AtTick.
+func NewTickEval(t time.Duration) TickEval {
+	return TickEval{
+		t:       t,
+		weekend: int(t.Hours()/24)%7 >= 5,
+		bucket:  uint64(t / (10 * time.Minute)),
+		frac:    float64(t%(10*time.Minute)) / float64(10*time.Minute),
+	}
+}
+
+// NoiseCache memoizes one pattern's two bucket hashes. The noise bucket
+// advances every 10 minutes while ticks are much shorter, so a per-VM cache
+// turns two splitmix rounds per evaluation into an amortized fraction of
+// one. The zero value is NOT valid — initialize Bucket to ^uint64(0) so the
+// first evaluation misses.
+type NoiseCache struct {
+	Bucket uint64
+	N0, N1 float64
+}
+
+// AtTick evaluates the pattern at the TickEval's time given a precomputed
+// DailySin(t, p.PhaseHours), memoizing noise hashes in nc (which may be nil
+// to hash every call). Bit-identical to At for patterns without
+// time-warping; patterns with TimeScale set must go through At, which warps
+// t before the sine is taken.
+func (p *LoadPattern) AtTick(e *TickEval, daily float64, nc *NoiseCache) float64 {
 	v := p.Base + p.DiurnalAmp*(0.5+0.5*daily)
-	day := int(hours/24) % 7
-	if day >= 5 {
+	if e.weekend {
 		v *= 1 - p.WeekendDip
 	}
-	// Deterministic jitter: hash the 10-minute bucket index and
-	// interpolate between consecutive buckets for continuity.
 	if p.NoiseAmp > 0 {
-		bucket := uint64(t / (10 * time.Minute))
-		frac := float64(t%(10*time.Minute)) / float64(10*time.Minute)
-		n0 := HashUnit(p.Seed, bucket)
-		n1 := HashUnit(p.Seed, bucket+1)
-		v += p.NoiseAmp * ((n0*(1-frac) + n1*frac) - 0.5) * 2
+		var n0, n1 float64
+		if nc != nil {
+			if nc.Bucket != e.bucket {
+				nc.Bucket = e.bucket
+				nc.N0 = HashUnit(p.Seed, e.bucket)
+				nc.N1 = HashUnit(p.Seed, e.bucket+1)
+			}
+			n0, n1 = nc.N0, nc.N1
+		} else {
+			n0 = HashUnit(p.Seed, e.bucket)
+			n1 = HashUnit(p.Seed, e.bucket+1)
+		}
+		v += p.NoiseAmp * ((n0*(1-e.frac) + n1*e.frac) - 0.5) * 2
 	}
 	if v < 0 {
 		return 0
@@ -52,6 +103,11 @@ func (p LoadPattern) At(t time.Duration) float64 {
 		return 1
 	}
 	return v
+}
+
+func (p LoadPattern) atWithDaily(t time.Duration, daily float64) float64 {
+	e := NewTickEval(t)
+	return p.AtTick(&e, daily, nil)
 }
 
 // HashUnit maps (seed, x) to a uniform value in [0,1) via splitmix64 — the

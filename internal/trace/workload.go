@@ -38,8 +38,10 @@ type VMSpec struct {
 	Load     LoadPattern // IaaS GPU load; unused for SaaS (requests drive it)
 }
 
-// Active reports whether the VM exists at time t.
-func (v VMSpec) Active(t time.Duration) bool {
+// Active reports whether the VM exists at time t. Pointer receiver: the
+// spec embeds a LoadPattern and the simulator asks per placed VM per tick —
+// a value receiver would copy the whole struct each call.
+func (v *VMSpec) Active(t time.Duration) bool {
 	return t >= v.Arrival && t < v.Arrival+v.Lifetime
 }
 
