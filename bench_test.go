@@ -18,6 +18,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/regress"
+	"github.com/tapas-sim/tapas/internal/scenario"
 	"github.com/tapas-sim/tapas/internal/sim"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
@@ -227,6 +228,95 @@ func BenchmarkEngineSimHour(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := llm.NewEngineSim(spec, llm.DefaultConfig())
 		e.Run(reqs, time.Hour, slos)
+	}
+}
+
+// --- compile cache ---------------------------------------------------------
+
+// BenchmarkCompileCacheMiss prices the cache's cold path: a fresh cache per
+// iteration, so every Compile pays keying plus the full artifact build.
+// Contrast with BenchmarkCompileScenario (no cache) for the keying overhead
+// and with BenchmarkCompileCacheHit for the warm speedup.
+func BenchmarkCompileCacheMiss(b *testing.B) {
+	sc := sim.SmallScenario()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.NewCompileCache(0).Compile(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileCacheHit prices the warm path: one cache, one cold fill,
+// then every Compile is a level-1 hit returning a runtime variant.
+func BenchmarkCompileCacheHit(b *testing.B) {
+	sc := sim.SmallScenario()
+	cache := sim.NewCompileCache(0)
+	if _, err := cache.Compile(sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Compile(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCampaign is a climate sweep whose compile work dominates its runs:
+// three regions over the small fleet, one short run each — the shape the
+// compile cache targets.
+func benchCampaign(b *testing.B) *scenario.Campaign {
+	b.Helper()
+	spec, err := scenario.Parse([]byte(`{
+	  "name": "bench-climate",
+	  "layout": {"preset": "small"},
+	  "duration": "10m",
+	  "policies": ["baseline"],
+	  "axes": [{"param": "region", "values": ["hot", "temperate", "cool"]}]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := spec.Campaign(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkCampaignColdCache reruns the campaign against a fresh cache each
+// iteration: every grid point compiles (level 2 still shares the layout and
+// workload across the climate axis within one run).
+func BenchmarkCampaignColdCache(b *testing.B) {
+	c := benchCampaign(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(scenario.RunOptions{Cache: sim.NewCompileCache(0)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignWarmCache reruns the same campaign through one shared
+// cache: after the warm-up fill, every rerun serves all compilations from
+// cache — the daemon's repeated-what-if steady state. The cold/warm ratio is
+// the cache's campaign-level speedup on compile work.
+func BenchmarkCampaignWarmCache(b *testing.B) {
+	c := benchCampaign(b)
+	cache := sim.NewCompileCache(0)
+	if _, err := c.Run(scenario.RunOptions{Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(scenario.RunOptions{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,16 +4,23 @@
 // argument order), timing to stderr, so stdout is byte-identical for any
 // -parallel value.
 //
+// Campaigns execute through the same scheduler the tapas-serve daemon uses,
+// sharing one content-addressed compile cache across all spec files — specs
+// whose grids overlap (or back-to-back invocations of the same spec in one
+// process) compile each unique scenario once.
+//
 // Usage:
 //
 //	tapas-campaign examples/scenarios/fig20-ablation.json
 //	tapas-campaign -parallel 4 -scale 0.12 specs/*.json
 //	tapas-campaign -format csv examples/scenarios/heatwave-sweep.json
+//	tapas-campaign -progress examples/scenarios/heatwave-sweep.json
 //	tapas-campaign -validate examples/scenarios/*.json
 //	tapas-campaign -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/scenario"
+	"github.com/tapas-sim/tapas/internal/serve"
 )
 
 func main() {
@@ -35,12 +43,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tapas-campaign", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for compiles and runs (1 = sequential)")
-		shards   = fs.Int("shards", 0, "tick-kernel shards per run (0 keeps the spec's; 1 serial, -1 = GOMAXPROCS); reports are byte-identical at any value")
-		scale    = fs.Float64("scale", 0, "override the spec's scale (0 keeps it; 1.0 = paper scale)")
-		format   = fs.String("format", "", "override the spec's report format: text | csv | json")
-		validate = fs.Bool("validate", false, "parse and validate specs without running anything")
-		list     = fs.Bool("list", false, "list sweepable axis params and report metrics")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for compiles and runs (1 = sequential)")
+		shards    = fs.Int("shards", 0, "tick-kernel shards per run (0 keeps the spec's; 1 serial, -1 = GOMAXPROCS); reports are byte-identical at any value")
+		scale     = fs.Float64("scale", 0, "override the spec's scale (0 keeps it; 1.0 = paper scale)")
+		format    = fs.String("format", "", "override the spec's report format: text | csv | json")
+		progress  = fs.Bool("progress", false, "stream per-run progress to stderr while campaigns execute")
+		cacheSize = fs.Int("cache-size", 0, "compile-cache entries per level (0 = default); the cache is shared across all spec files")
+		validate  = fs.Bool("validate", false, "parse and validate specs without running anything")
+		list      = fs.Bool("list", false, "list sweepable axis params and report metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +78,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// One scheduler for the whole invocation: its compile cache is shared
+	// across spec files, and campaigns run one at a time in argument order so
+	// stdout stays deterministic.
+	sched := serve.NewScheduler(serve.SchedulerConfig{
+		QueueDepth: fs.NArg() + 1,
+		Parallel:   *parallel,
+		Shards:     *shards,
+		CacheSize:  *cacheSize,
+	})
+	defer sched.Shutdown(context.Background())
+
 	for _, path := range fs.Args() {
 		spec, err := scenario.Load(path)
 		if err != nil {
@@ -77,28 +98,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *format != "" {
 			spec.Report.Format = *format
 		}
-		c, err := spec.Campaign(*scale)
-		if err != nil {
-			fmt.Fprintln(stderr, "tapas-campaign:", err)
-			return 1
-		}
 		if *validate {
+			c, err := spec.Campaign(*scale)
+			if err != nil {
+				fmt.Fprintln(stderr, "tapas-campaign:", err)
+				return 1
+			}
 			fmt.Fprintf(stderr, "%s: ok (%d points × %d policies = %d runs)\n",
 				path, len(c.Points), len(c.Policies), c.Runs())
 			continue
 		}
 		start := time.Now()
-		res, err := c.Run(scenario.RunOptions{Parallel: *parallel, Shards: *shards})
+		job, err := sched.Submit(spec, *scale)
 		if err != nil {
 			fmt.Fprintln(stderr, "tapas-campaign:", err)
 			return 1
 		}
-		if _, err := res.WriteTo(stdout); err != nil {
+		if *progress {
+			streamProgress(job, stderr)
+		}
+		if err := job.Wait(context.Background()); err != nil {
 			fmt.Fprintln(stderr, "tapas-campaign:", err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "%-24s %3d runs in %v\n",
-			strings.TrimSuffix(spec.Name, "\n"), c.Runs(), time.Since(start).Round(time.Millisecond))
+		if _, err := stdout.Write(job.Report()); err != nil {
+			fmt.Fprintln(stderr, "tapas-campaign:", err)
+			return 1
+		}
+		_, total, compiles := job.Progress()
+		fmt.Fprintf(stderr, "%-24s %3d runs (%d compiles) in %v\n",
+			strings.TrimSuffix(spec.Name, "\n"), total, compiles,
+			time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// streamProgress follows the job's event log, printing progress and terminal
+// events to w until the job finishes.
+func streamProgress(job *serve.Job, w io.Writer) {
+	i := 0
+	for {
+		evs, changed, terminal := job.EventsSince(i)
+		for _, ev := range evs {
+			switch ev.Type {
+			case "start":
+				fmt.Fprintf(w, "%s: %d points × %d policies = %d runs\n",
+					ev.Name, ev.Points, ev.Policies, ev.Runs)
+			case "progress":
+				fmt.Fprintf(w, "  %d/%d runs\n", ev.Done, ev.Total)
+			case "done":
+				if ev.Error != "" {
+					fmt.Fprintf(w, "  %s: %s\n", ev.Status, ev.Error)
+				}
+			}
+		}
+		i += len(evs)
+		if terminal {
+			return
+		}
+		<-changed
+	}
 }

@@ -98,7 +98,37 @@ func TestRunQuickCampaign(t *testing.T) {
 	if !strings.HasPrefix(out.String(), "spec,policy,") {
 		t.Errorf("CSV report missing header:\n%s", out.String())
 	}
-	if !strings.Contains(errOut.String(), "1 runs in") {
+	if !strings.Contains(errOut.String(), "1 runs (1 compiles) in") {
 		t.Errorf("stderr missing timing line: %q", errOut.String())
+	}
+}
+
+// TestRunProgressAndCacheFlags runs one spec twice in a single invocation
+// with -progress: progress lines stream to stderr, stdout carries both
+// reports back to back, and the shared compile cache serves the repeat.
+func TestRunProgressAndCacheFlags(t *testing.T) {
+	spec := `{
+	  "name": "smoke",
+	  "layout": {"preset": "small"},
+	  "duration": "5m",
+	  "policies": ["baseline"],
+	  "report": {"format": "csv"}
+	}`
+	path := filepath.Join(t.TempDir(), "smoke.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-progress", "-cache-size", "8", path, path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if got := strings.Count(out.String(), "spec,policy,"); got != 2 {
+		t.Errorf("stdout has %d CSV reports, want 2:\n%s", got, out.String())
+	}
+	if !strings.Contains(errOut.String(), "1/1 runs") {
+		t.Errorf("stderr missing progress lines: %q", errOut.String())
+	}
+	if got := strings.Count(errOut.String(), "smoke: 1 points"); got != 2 {
+		t.Errorf("stderr has %d campaign headers, want 2: %q", got, errOut.String())
 	}
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a strings.Builder safe for the concurrent writer/reader the
+// daemon test needs (run writes from its goroutine, the test polls).
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+const smokeSpec = `{
+  "name": "smoke",
+  "layout": {"preset": "small"},
+  "duration": "10m",
+  "policies": ["baseline"],
+  "report": {"format": "csv"}
+}`
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port, runs one
+// campaign through the HTTP API, and exercises graceful shutdown via the
+// test stop channel.
+func TestRunServesAndShutsDown(t *testing.T) {
+	var stdout, stderr syncBuffer
+	stop := make(chan struct{})
+	code := make(chan int, 1)
+	go func() { code <- run([]string{"-addr", "127.0.0.1:0"}, &stdout, &stderr, stop) }()
+
+	// The bound address is announced on stdout once the listener is up.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", stdout.String(), stderr.String())
+		}
+		if out := stdout.String(); strings.HasPrefix(out, "listening on ") {
+			base = "http://" + strings.TrimSpace(strings.TrimPrefix(out, "listening on "))
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/campaigns", "application/json", strings.NewReader(smokeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /campaigns = %d", resp.StatusCode)
+	}
+
+	// The events stream ends once the campaign is done; then the report
+	// renders as CSV.
+	resp, err = http.Get(base + "/campaigns/" + created.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(events), `"type":"done"`) {
+		t.Fatalf("event stream missing terminal event:\n%s", events)
+	}
+	resp, err = http.Get(base + "/campaigns/" + created.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(report), "spec,policy,") {
+		t.Fatalf("report = %q", report)
+	}
+
+	close(stop)
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Errorf("exit code %d; stderr: %s", c, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(stderr.String(), "shutting down") {
+		t.Errorf("stderr missing shutdown notice: %q", stderr.String())
+	}
+}
+
+// TestRunUsageErrors pins the CLI contract.
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := run([]string{"-bogus"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	stderr = syncBuffer{}
+	if code := run([]string{"positional"}, &stdout, &stderr, nil); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unexpected arguments") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+	stderr = syncBuffer{}
+	if code := run([]string{"-addr", "256.0.0.1:bogus"}, &stdout, &stderr, nil); code != 1 {
+		t.Errorf("bad addr: exit %d, want 1", code)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,18 @@ import (
 // one with the lowest job index, which again keeps the outcome independent
 // of scheduling.
 func RunParallel[T any](n, workers int, fn func(worker, job int) (T, error)) ([]T, error) {
+	return RunParallelCtx(context.Background(), n, workers, fn)
+}
+
+// RunParallelCtx is RunParallel with cooperative cancellation: once ctx is
+// done, jobs not yet started are skipped and recorded as ctx.Err() instead
+// of running (in-flight jobs finish — fn is not interrupted mid-run). The
+// error reported is still the one with the lowest job index, so a genuine
+// job failure that ran before the cancellation wins over the cancellation
+// error when it sits earlier in job order. Long-running services (the
+// campaign daemon) use this to shed queued work on shutdown at run
+// granularity.
+func RunParallelCtx[T any](ctx context.Context, n, workers int, fn func(worker, job int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -28,6 +41,10 @@ func RunParallel[T any](n, workers int, fn func(worker, job int) (T, error)) ([]
 	errs := make([]error, n)
 	if workers == 1 {
 		for job := 0; job < n; job++ {
+			if err := ctx.Err(); err != nil {
+				errs[job] = err
+				continue
+			}
 			results[job], errs[job] = fn(0, job)
 		}
 	} else {
@@ -41,6 +58,10 @@ func RunParallel[T any](n, workers int, fn func(worker, job int) (T, error)) ([]
 					job := int(next.Add(1)) - 1
 					if job >= n {
 						return
+					}
+					if err := ctx.Err(); err != nil {
+						errs[job] = err
+						continue
 					}
 					results[job], errs[job] = fn(worker, job)
 				}

@@ -1,8 +1,10 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"github.com/tapas-sim/tapas/internal/core"
 	"github.com/tapas-sim/tapas/internal/experiments"
@@ -62,6 +64,20 @@ type RunOptions struct {
 	// byte-identical at any shard count, so this only trades intra-run
 	// latency against the cross-run parallelism of Parallel.
 	Shards int
+	// Cache, when non-nil, serves compilations from (and fills) a
+	// content-addressed compile cache, so identical scenarios across
+	// back-to-back or concurrent campaigns compile once. Reports from cache
+	// hits are byte-identical to cold compiles.
+	Cache *sim.CompileCache
+	// Context cancels the campaign cooperatively at run granularity: once
+	// done, queued compiles and runs are skipped and Run returns the
+	// context's error (in-flight simulations finish first). Nil means
+	// context.Background().
+	Context context.Context
+	// OnProgress, when non-nil, is invoked after every completed simulation
+	// with the number of finished runs and the campaign total. It is called
+	// from worker goroutines and must be safe for concurrent use.
+	OnProgress func(done, total int)
 }
 
 // Campaign expands the spec into its grid. scale overrides the spec's Scale
@@ -111,19 +127,67 @@ type Result struct {
 	// point to point, so norm_* metrics always divide by the envelopes of
 	// the layout they ran against.
 	Prov []Prov
+	// Compiles is the number of unique scenario compilations the grid
+	// required after content-key deduplication — axes that collapse to
+	// identical compile-relevant scenarios share one compilation, so this
+	// can be smaller than len(Campaign.Points). With RunOptions.Cache some
+	// of these may additionally have been served from the cache without any
+	// compile work (see sim.CompileCache.Stats).
+	Compiles int
 }
 
-// Run executes the campaign: each grid point's scenario compiles once
-// (sim.Compile) and all policies share the compiled artifacts read-only
-// across the worker pool, exactly like the hard-coded experiment grids. The
-// result is deterministic and independent of the worker count.
+// Run executes the campaign: grid points are deduplicated by content key
+// (sim.ScenarioKey) so identical compile-relevant scenarios compile once,
+// each unique scenario compiles once (through RunOptions.Cache when set,
+// sim.Compile otherwise), and all policies share the compiled artifacts
+// read-only across the worker pool, exactly like the hard-coded experiment
+// grids. The result is deterministic and independent of the worker count,
+// the cache state, and the deduplication.
 func (c *Campaign) Run(opt RunOptions) (*Result, error) {
-	compiled, err := experiments.RunParallel(len(c.Points), opt.Parallel, func(_, pi int) (*sim.CompiledScenario, error) {
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nPts := len(c.Points)
+	// Deduplicate identical grid points before the compile fan-out: axes
+	// whose values collapse to the same compile-relevant scenario (or that
+	// only vary runtime fields) hash to one key and compile once. Keying
+	// can only fail on un-serializable replay traces; compiling surfaces
+	// the real error, so a key failure just disables deduplication.
+	group := make([]int, nPts) // point -> index into uniq
+	var uniq []int             // unique index -> representative point
+	byKey := make(map[sim.CacheKey]int, nPts)
+	for pi := range c.Points {
+		key, err := c.pointKey(opt, pi)
+		if err != nil {
+			uniq = uniq[:0]
+			for i := range group {
+				group[i] = i
+				uniq = append(uniq, i)
+			}
+			break
+		}
+		ui, ok := byKey[key]
+		if !ok {
+			ui = len(uniq)
+			byKey[key] = ui
+			uniq = append(uniq, pi)
+		}
+		group[pi] = ui
+	}
+	compiledUniq, err := experiments.RunParallelCtx(ctx, len(uniq), opt.Parallel, func(_, ui int) (*sim.CompiledScenario, error) {
+		pi := uniq[ui]
 		scn := c.Points[pi].Scenario
 		if opt.Shards != 0 {
 			scn.Shards = opt.Shards // runtime-only: never changes the report
 		}
-		cs, err := sim.Compile(scn)
+		var cs *sim.CompiledScenario
+		var err error
+		if opt.Cache != nil {
+			cs, err = opt.Cache.Compile(scn)
+		} else {
+			cs, err = sim.Compile(scn)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("scenario: spec %q: compiling point %d: %w", c.Spec.Name, pi, err)
 		}
@@ -132,12 +196,27 @@ func (c *Campaign) Run(opt RunOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	nPts := len(c.Points)
-	runs, err := experiments.RunParallel(len(c.Policies)*nPts, opt.Parallel, func(_, job int) (*sim.Result, error) {
+	// Each point adopts the shared compilation with its own runtime-only
+	// fields, so deduplicated points that differ in Tick or Failures still
+	// run their own schedule.
+	compiled := make([]*sim.CompiledScenario, nPts)
+	for pi := range c.Points {
+		scn := c.Points[pi].Scenario
+		if opt.Shards != 0 {
+			scn.Shards = opt.Shards
+		}
+		compiled[pi] = compiledUniq[group[pi]].ForScenario(scn)
+	}
+	total := len(c.Policies) * nPts
+	var done atomic.Int64
+	runs, err := experiments.RunParallelCtx(ctx, total, opt.Parallel, func(_, job int) (*sim.Result, error) {
 		pol := c.Policies[job/nPts]
 		res, err := compiled[job%nPts].Run(pol.New())
 		if err != nil {
 			return nil, fmt.Errorf("scenario: spec %q: running %s on point %d: %w", c.Spec.Name, pol.Name, job%nPts, err)
+		}
+		if opt.OnProgress != nil {
+			opt.OnProgress(int(done.Add(1)), total)
 		}
 		return res, nil
 	})
@@ -148,6 +227,7 @@ func (c *Campaign) Run(opt RunOptions) (*Result, error) {
 		Campaign: c,
 		Runs:     make([][]*sim.Result, len(c.Policies)),
 		Prov:     make([]Prov, nPts),
+		Compiles: len(uniq),
 	}
 	for pi, cs := range compiled {
 		p := Prov{}
@@ -167,4 +247,13 @@ func (c *Campaign) Run(opt RunOptions) (*Result, error) {
 		out.Runs[pi] = runs[pi*nPts : (pi+1)*nPts]
 	}
 	return out, nil
+}
+
+// pointKey computes a grid point's content key, through the cache's
+// trace-fingerprint memo when one is configured.
+func (c *Campaign) pointKey(opt RunOptions, pi int) (sim.CacheKey, error) {
+	if opt.Cache != nil {
+		return opt.Cache.Key(c.Points[pi].Scenario)
+	}
+	return sim.ScenarioKey(c.Points[pi].Scenario)
 }

@@ -324,6 +324,12 @@ func Load(path string) (*Spec, error) {
 	return s, nil
 }
 
+// SetBaseDir sets the directory relative workload.trace (and splice) paths
+// resolve against. Load sets it to the spec file's directory automatically;
+// callers that Parse specs from other sources (the campaign daemon's HTTP
+// body, tests) use this to anchor relative paths explicitly.
+func (s *Spec) SetBaseDir(dir string) { s.dir = dir }
+
 // Validate checks the spec without building anything expensive.
 func (s *Spec) Validate() error {
 	fail := func(format string, args ...any) error {

@@ -1,0 +1,391 @@
+// Package serve turns the campaign library into a long-running service: a
+// Scheduler that admits declarative scenario specs onto the existing
+// parallel run pool with bounded queueing, streams per-campaign progress as
+// an ordered event log, and serves every compilation through a shared
+// content-addressed sim.CompileCache — so repeated what-ifs from many users
+// skip sim.Compile entirely. The HTTP layer (Server) exposes the scheduler
+// as a JSON API; cmd/tapas-campaign drives the same scheduler directly, so
+// the CLI and the daemon cannot diverge.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/tapas-sim/tapas/internal/scenario"
+	"github.com/tapas-sim/tapas/internal/sim"
+)
+
+// Errors Submit returns; the HTTP layer maps them to status codes.
+var (
+	// ErrQueueFull is returned when admission control rejects a campaign
+	// because the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("serve: campaign queue full")
+	// ErrShuttingDown is returned once Shutdown has begun (HTTP 503).
+	ErrShuttingDown = errors.New("serve: scheduler shutting down")
+)
+
+// SchedulerConfig bounds a scheduler. Zero values select the defaults.
+type SchedulerConfig struct {
+	// QueueDepth bounds the number of campaigns waiting to run; Submit
+	// fails with ErrQueueFull beyond it. Default 16.
+	QueueDepth int
+	// Concurrency is the number of campaigns executing at once (each one
+	// internally parallel across Parallel workers). Default 1: campaigns
+	// queue behind each other and the worker pool stays fully owned by the
+	// running campaign.
+	Concurrency int
+	// Parallel is each campaign's worker-pool bound (≤ 0 = GOMAXPROCS).
+	Parallel int
+	// Shards overrides every run's tick-kernel shard count when non-zero.
+	Shards int
+	// CacheSize bounds the shared compile cache (entries per level;
+	// ≤ 0 = sim.DefaultCacheEntries).
+	CacheSize int
+}
+
+// Scheduler owns a bounded campaign queue, a shared compile cache, and the
+// dispatcher goroutines that execute campaigns. Safe for concurrent use.
+type Scheduler struct {
+	cfg    SchedulerConfig
+	cache  *sim.CompileCache
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+}
+
+// NewScheduler starts a scheduler with Concurrency dispatcher goroutines.
+// Call Shutdown to stop it.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:    cfg,
+		cache:  sim.NewCompileCache(cfg.CacheSize),
+		ctx:    ctx,
+		cancel: cancel,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		jobs:   make(map[string]*Job),
+	}
+	s.wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		go s.dispatch()
+	}
+	return s
+}
+
+func (s *Scheduler) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			j.run(s.ctx, scenario.RunOptions{
+				Parallel: s.cfg.Parallel,
+				Shards:   s.cfg.Shards,
+				Cache:    s.cache,
+			})
+		}
+	}
+}
+
+// Submit expands and validates a spec (scale overrides the spec's when
+// positive) and enqueues the campaign. It returns immediately: the Job
+// exposes the event log, Wait, and the final report. Admission control is a
+// bounded queue — ErrQueueFull when it is at capacity.
+func (s *Scheduler) Submit(spec *scenario.Spec, scale float64) (*Job, error) {
+	camp, err := spec.Campaign(scale)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.seq++
+	j := newJob(fmt.Sprintf("c%d", s.seq), spec, camp)
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+
+	j.emit(Event{Type: "queued", ID: j.ID, Name: spec.Name, Runs: camp.Runs()})
+	select {
+	case s.queue <- j:
+		return j, nil
+	default:
+		j.finish(StatusFailed, ErrQueueFull)
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Job returns a submitted campaign by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// CacheStats snapshots the shared compile cache's counters.
+func (s *Scheduler) CacheStats() sim.CacheStats { return s.cache.Stats() }
+
+// Cache exposes the shared compile cache (tests and embedding callers).
+func (s *Scheduler) Cache() *sim.CompileCache { return s.cache }
+
+// Shutdown stops admission, cancels the running campaigns cooperatively (at
+// run granularity), marks still-queued campaigns canceled, and waits for the
+// dispatchers — or for ctx, whichever ends first.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	// Dispatchers exit on the canceled context; whatever is still in the
+	// queue will never run.
+	for {
+		select {
+		case j := <-s.queue:
+			j.finish(StatusCanceled, context.Canceled)
+			continue
+		default:
+		}
+		break
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Event is one JSON-lines record of a campaign's event stream. Fields are
+// populated per type: queued/start carry the campaign shape, progress the
+// run counters, result the compile count and the rendered report, done the
+// terminal status (and error, if any).
+type Event struct {
+	Type     string `json:"type"`
+	ID       string `json:"id,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Points   int    `json:"points,omitempty"`
+	Policies int    `json:"policies,omitempty"`
+	Runs     int    `json:"runs,omitempty"`
+	Done     int    `json:"done,omitempty"`
+	Total    int    `json:"total,omitempty"`
+	Compiles int    `json:"compiles,omitempty"`
+	Status   Status `json:"status,omitempty"`
+	Error    string `json:"error,omitempty"`
+	Report   string `json:"report,omitempty"`
+}
+
+// Job is one submitted campaign: an append-only event log plus the final
+// report. All methods are safe for concurrent use.
+type Job struct {
+	ID       string
+	Spec     *scenario.Spec
+	Campaign *scenario.Campaign
+
+	mu       sync.Mutex
+	status   Status
+	events   []Event
+	changed  chan struct{}
+	terminal bool
+	err      error
+	report   []byte
+	compiles int
+	progress int
+
+	done chan struct{}
+}
+
+func newJob(id string, spec *scenario.Spec, camp *scenario.Campaign) *Job {
+	return &Job{
+		ID:       id,
+		Spec:     spec,
+		Campaign: camp,
+		status:   StatusQueued,
+		changed:  make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// run executes the campaign and drives the event log to a terminal state.
+func (j *Job) run(ctx context.Context, opt scenario.RunOptions) {
+	if ctx.Err() != nil {
+		j.finish(StatusCanceled, ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.mu.Unlock()
+	total := j.Campaign.Runs()
+	j.emit(Event{Type: "start", ID: j.ID, Name: j.Spec.Name,
+		Points: len(j.Campaign.Points), Policies: len(j.Campaign.Policies), Runs: total})
+	opt.Context = ctx
+	opt.OnProgress = func(done, total int) {
+		j.mu.Lock()
+		if done > j.progress {
+			j.progress = done
+		}
+		j.mu.Unlock()
+		j.emit(Event{Type: "progress", ID: j.ID, Done: done, Total: total})
+	}
+	res, err := j.Campaign.Run(opt)
+	if err != nil {
+		if ctx.Err() != nil {
+			j.finish(StatusCanceled, err)
+		} else {
+			j.finish(StatusFailed, err)
+		}
+		return
+	}
+	var buf bytes.Buffer
+	if _, err := res.WriteTo(&buf); err != nil {
+		j.finish(StatusFailed, err)
+		return
+	}
+	j.mu.Lock()
+	j.report = buf.Bytes()
+	j.compiles = res.Compiles
+	j.mu.Unlock()
+	j.emit(Event{Type: "result", ID: j.ID, Compiles: res.Compiles, Runs: total, Report: buf.String()})
+	j.finish(StatusDone, nil)
+}
+
+// emit appends an event and wakes every stream.
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// finish records the terminal state, emits the done event, and releases
+// waiters. Idempotent: only the first terminal state sticks.
+func (j *Job) finish(st Status, err error) {
+	j.mu.Lock()
+	if j.terminal {
+		j.mu.Unlock()
+		return
+	}
+	j.status = st
+	j.err = err
+	ev := Event{Type: "done", ID: j.ID, Status: st}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.events = append(j.events, ev)
+	j.terminal = true
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// EventsSince returns the events from index i on, a channel closed on the
+// next append, and whether the log is terminal. Streaming loop: emit the
+// slice, advance i, return when terminal, otherwise wait on the channel.
+func (j *Job) EventsSince(i int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i > len(j.events) {
+		i = len(j.events)
+	}
+	evs := make([]Event, len(j.events)-i)
+	copy(evs, j.events[i:])
+	return evs, j.changed, j.terminal
+}
+
+// Wait blocks until the job reaches a terminal state (returning its error,
+// nil for success) or ctx ends.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Err returns the terminal error (nil while running or when done).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Report returns the rendered campaign report (nil until done). The bytes
+// are identical to Result.WriteTo on a direct run — cache hits included.
+func (j *Job) Report() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Progress returns completed runs, total runs, and the compile count (the
+// latter 0 until the result event).
+func (j *Job) Progress() (done, total, compiles int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progress, j.Campaign.Runs(), j.compiles
+}

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// CompileCache is a two-level, content-addressed, size-bounded cache of
+// compiled scenarios, safe for concurrent use.
+//
+// Level 1 keys whole *CompiledScenario values by ScenarioKey — a canonical
+// hash of the compile-relevant Scenario fields — so identical grid points
+// across sweeps, reruns, and concurrent campaigns compile once. Hits return
+// a CompiledScenario variant adopting the caller's runtime-only fields
+// (Tick, Failures, RecordRowSeries, Observer, Shards), which is exactly the
+// set a compiled scenario can vary per run; reports from a cache hit are
+// byte-identical to a cold compile.
+//
+// Level 2 memoizes the sub-artifacts Compile builds — the generated layout
+// (plus every table derived from it), the workload (generated or
+// trace-replayed, plus seeded history), and the outside-temperature series —
+// under independent content keys. A climate sweep therefore reuses its
+// layout and workload across all grid points, and a demand sweep reuses its
+// layout and weather, even though every point's level-1 key differs.
+//
+// Each level is an LRU bounded by entry count. Concurrent compiles of the
+// same level-1 key are deduplicated (the losers wait for the winner's
+// result); concurrent compiles of different scenarios that share a
+// sub-artifact may build it redundantly, which wastes work but never
+// changes results — every build of the same key is byte-identical.
+type CompileCache struct {
+	scenarios *lruCache[*CompiledScenario]
+	layouts   *lruCache[*layoutArtifacts]
+	workloads *lruCache[*workloadArtifacts]
+	weather   *lruCache[*trace.OutsideTemp]
+	fp        *fingerprintMemo
+	compiles  atomic.Uint64
+
+	mu     sync.Mutex
+	flight map[CacheKey]*flightCall
+}
+
+// DefaultCacheEntries is the default level-1 bound used by callers that take
+// a cache size of 0.
+const DefaultCacheEntries = 64
+
+// NewCompileCache returns a cache bounded to maxEntries compiled scenarios
+// (level 1); each level-2 sub-artifact cache is bounded to the same count.
+// maxEntries <= 0 selects DefaultCacheEntries.
+func NewCompileCache(maxEntries int) *CompileCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &CompileCache{
+		scenarios: newLRUCache[*CompiledScenario](maxEntries),
+		layouts:   newLRUCache[*layoutArtifacts](maxEntries),
+		workloads: newLRUCache[*workloadArtifacts](maxEntries),
+		weather:   newLRUCache[*trace.OutsideTemp](maxEntries),
+		fp:        newFingerprintMemo(4 * maxEntries),
+		flight:    make(map[CacheKey]*flightCall),
+	}
+}
+
+// Compile returns the compiled scenario for sc, from cache when its content
+// key is present and compiling (then caching) it otherwise. The returned
+// value adopts sc's runtime-only fields and is safe for any number of
+// concurrent Run calls, like a fresh Compile result.
+//
+// Traces attached to sc (Scenario.Trace, splice overlays) must not be
+// mutated after first use — the same read-only contract Compile itself
+// imposes — because their content fingerprints are memoized by pointer.
+func (c *CompileCache) Compile(sc Scenario) (*CompiledScenario, error) {
+	key, err := scenarioKey(sc, c.fp)
+	if err != nil {
+		return nil, err
+	}
+	if cs, ok := c.scenarios.get(key); ok {
+		return cs.ForScenario(sc), nil
+	}
+	// Deduplicate concurrent compiles of the same key: the first caller
+	// compiles, later ones wait and adopt its result.
+	c.mu.Lock()
+	if call, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+		return call.cs.ForScenario(sc), nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flight[key] = call
+	c.mu.Unlock()
+
+	call.cs, call.err = c.compileCold(sc)
+	if call.err == nil {
+		c.scenarios.add(key, call.cs)
+	}
+	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	close(call.done)
+	if call.err != nil {
+		return nil, call.err
+	}
+	return call.cs, nil
+}
+
+// Key exposes the level-1 content key of a scenario, computed with the
+// cache's trace-fingerprint memo (campaigns use it to deduplicate grid
+// points before the compile fan-out).
+func (c *CompileCache) Key(sc Scenario) (CacheKey, error) {
+	return scenarioKey(sc, c.fp)
+}
+
+// Compiles returns the number of cold compiles the cache has performed —
+// the work every other Compile call skipped.
+func (c *CompileCache) Compiles() uint64 { return c.compiles.Load() }
+
+// compileCold builds a compiled scenario through the level-2 sub-artifact
+// caches: layout tables, workload (plus seeded history), and weather are
+// reused when their content keys match a previous compile.
+func (c *CompileCache) compileCold(sc Scenario) (*CompiledScenario, error) {
+	c.compiles.Add(1)
+	lk := layoutKey(sc.Layout, sc.Oversubscribe)
+	la, ok := c.layouts.get(lk)
+	if !ok {
+		var err error
+		la, err = buildLayoutArtifacts(sc.Layout, sc.Oversubscribe)
+		if err != nil {
+			return nil, err
+		}
+		c.layouts.add(lk, la)
+	}
+	wk, err := workloadKey(sc, len(la.dc.Servers), c.fp)
+	if err != nil {
+		return nil, err
+	}
+	wa, ok := c.workloads.get(wk)
+	if !ok {
+		wa, err = buildWorkloadArtifacts(sc, len(la.dc.Servers))
+		if err != nil {
+			return nil, err
+		}
+		c.workloads.add(wk, wa)
+	}
+	wkey := weatherKey(sc.Region, sc.StartOffset+sc.Duration, wa.w.Config.Seed^outsideSeedXor)
+	out, ok2 := c.weather.get(wkey)
+	if !ok2 {
+		out = buildOutside(sc, wa.w)
+		c.weather.add(wkey, out)
+	}
+	return assemble(sc, la, wa, out), nil
+}
+
+// Stats returns a consistent-enough snapshot of per-level counters (each
+// level is snapshotted atomically; levels are read in sequence).
+func (c *CompileCache) Stats() CacheStats {
+	return CacheStats{
+		Compiles:  c.compiles.Load(),
+		Scenarios: c.scenarios.stats(),
+		Layouts:   c.layouts.stats(),
+		Workloads: c.workloads.stats(),
+		Weather:   c.weather.stats(),
+	}
+}
+
+// CacheStats is a snapshot of CompileCache counters, one LevelStats per
+// cache level plus the total number of cold compiles performed.
+type CacheStats struct {
+	Compiles  uint64     `json:"compiles"`
+	Scenarios LevelStats `json:"scenarios"`
+	Layouts   LevelStats `json:"layouts"`
+	Workloads LevelStats `json:"workloads"`
+	Weather   LevelStats `json:"weather"`
+}
+
+// LevelStats counts one cache level's traffic.
+type LevelStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+type flightCall struct {
+	done chan struct{}
+	cs   *CompiledScenario
+	err  error
+}
+
+// lruCache is a mutex-guarded LRU keyed by CacheKey and bounded by entry
+// count. Values are shared read-only artifacts, so eviction just drops the
+// reference.
+type lruCache[V any] struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[CacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type lruEntry[V any] struct {
+	key CacheKey
+	val V
+}
+
+func newLRUCache[V any](max int) *lruCache[V] {
+	return &lruCache[V]{max: max, ll: list.New(), items: make(map[CacheKey]*list.Element)}
+}
+
+func (c *lruCache[V]) get(k CacheKey) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+func (c *lruCache[V]) add(k CacheKey, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// A concurrent compile of the same sub-artifact key finished first;
+		// keep the incumbent (values for one key are interchangeable) and
+		// refresh its recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry[V]{key: k, val: v})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		ent := el.Value.(*lruEntry[V])
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.evictions++
+	}
+}
+
+func (c *lruCache[V]) stats() LevelStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return LevelStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}
+
+// keysMRU returns the cached keys from most to least recently used (tests).
+func (c *lruCache[V]) keysMRU() []CacheKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheKey, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).key)
+	}
+	return out
+}
+
+// fingerprintMemo memoizes workload content fingerprints by pointer, so
+// repeated key computations against the same in-memory trace do not
+// re-serialize it. Bounded: the map is dropped wholesale when full (the
+// memo is an optimization; correctness never depends on it).
+type fingerprintMemo struct {
+	mu  sync.Mutex
+	max int
+	fps map[*trace.Workload]CacheKey
+}
+
+func newFingerprintMemo(max int) *fingerprintMemo {
+	return &fingerprintMemo{max: max, fps: make(map[*trace.Workload]CacheKey)}
+}
+
+func (m *fingerprintMemo) get(w *trace.Workload) (CacheKey, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fp, ok := m.fps[w]
+	return fp, ok
+}
+
+func (m *fingerprintMemo) put(w *trace.Workload, fp CacheKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.fps) >= m.max {
+		clear(m.fps)
+	}
+	m.fps[w] = fp
+}

@@ -97,90 +97,155 @@ type CompiledScenario struct {
 
 // Compile builds the run-invariant artifacts of a scenario. The returned
 // object is immutable; call Run on it any number of times, from any number
-// of goroutines.
+// of goroutines. Compile itself is pure — repeated what-ifs that want to
+// skip it entirely go through a CompileCache, which memoizes both whole
+// compilations (by ScenarioKey) and the sub-artifacts below.
 func Compile(sc Scenario) (*CompiledScenario, error) {
-	dc, err := layout.New(sc.Layout)
+	la, err := buildLayoutArtifacts(sc.Layout, sc.Oversubscribe)
 	if err != nil {
 		return nil, err
 	}
-	if sc.Oversubscribe > 0 {
-		dc.AddRacks(sc.Oversubscribe)
-	}
-	w, err := workloadFor(sc, len(dc.Servers))
+	wa, err := buildWorkloadArtifacts(sc, len(la.dc.Servers))
 	if err != nil {
 		return nil, err
+	}
+	return assemble(sc, la, wa, buildOutside(sc, wa.w)), nil
+}
+
+// outsideSeedXor decorrelates the weather series from the workload streams
+// derived from the same seed.
+const outsideSeedXor = 0xd00d
+
+// layoutArtifacts groups every compiled artifact derived solely from the
+// layout config (plus oversubscription): the generated datacenter and all
+// per-server/per-generation tables the tick kernel reads. One instance is
+// shared read-only by every compiled scenario with the same layout — a
+// climate or demand sweep builds it once.
+type layoutArtifacts struct {
+	dc      *layout.Datacenter
+	profile *llm.Profile
+	coeffs  *thermal.Coeffs
+
+	profileBy     [layout.GPUModelCount]*llm.Profile
+	specBy        [layout.GPUModelCount]layout.GPUSpec
+	idleWBy       [layout.GPUModelCount]float64
+	idleFracBy    [layout.GPUModelCount]float64
+	idleTickWBy   [layout.GPUModelCount]float64
+	idleAirflowBy [layout.GPUModelCount]float64
+	srvModel      []uint8
+	fleetTDPW     float64
+	srvRow        []int32
+	srvAisle      []int32
+	srvMaxBias    []float64
+	srvMaxGain    []float64
+	rowSpanEnd    []int32
+}
+
+// workloadArtifacts groups every compiled artifact derived solely from the
+// materialized workload: the trace itself, the seeded "previous week"
+// history, and the shared-phase index for un-warped IaaS load patterns.
+type workloadArtifacts struct {
+	w            *trace.Workload
+	customerPeak map[int]float64
+	endpointPeak map[int]float64
+	vmPhase      []int32
+	phaseBy      []float64
+}
+
+// buildLayoutArtifacts generates the datacenter and precomputes the tables
+// the tick kernel reads from it.
+func buildLayoutArtifacts(lc layout.Config, oversubscribe float64) (*layoutArtifacts, error) {
+	dc, err := layout.New(lc)
+	if err != nil {
+		return nil, err
+	}
+	if oversubscribe > 0 {
+		dc.AddRacks(oversubscribe)
 	}
 	spec := layout.Spec(dc.Config.GPU)
-	cs := &CompiledScenario{
-		Scenario:     sc,
-		compiledFrom: sc,
-		DC:           dc,
-		Workload:     w,
-		Outside:      trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, w.Config.Seed^0xd00d),
-		Profile:      llm.BuildProfile(spec, llm.DefaultWorkload()),
-		Coeffs:       thermal.CompileCoeffs(dc.Servers, spec.GPUsPerServer),
-		srvRow:       make([]int32, len(dc.Servers)),
-		srvAisle:     make([]int32, len(dc.Servers)),
-		srvModel:     make([]uint8, len(dc.Servers)),
+	la := &layoutArtifacts{
+		dc:       dc,
+		profile:  llm.BuildProfile(spec, llm.DefaultWorkload()),
+		coeffs:   thermal.CompileCoeffs(dc.Servers, spec.GPUsPerServer),
+		srvRow:   make([]int32, len(dc.Servers)),
+		srvAisle: make([]int32, len(dc.Servers)),
+		srvModel: make([]uint8, len(dc.Servers)),
 	}
-	cs.srvMaxBias = make([]float64, len(dc.Servers))
-	cs.srvMaxGain = make([]float64, len(dc.Servers))
+	la.srvMaxBias = make([]float64, len(dc.Servers))
+	la.srvMaxGain = make([]float64, len(dc.Servers))
 	for i := range dc.Servers {
 		base := i * spec.GPUsPerServer
 		maxB, maxG := 0.0, 0.0
 		for g := 0; g < spec.GPUsPerServer; g++ {
-			if b := cs.Coeffs.BiasC[base+g]; b > maxB {
+			if b := la.coeffs.BiasC[base+g]; b > maxB {
 				maxB = b
 			}
-			if gn := cs.Coeffs.GainC[base+g]; gn > maxG {
+			if gn := la.coeffs.GainC[base+g]; gn > maxG {
 				maxG = gn
 			}
 		}
-		cs.srvMaxBias[i] = maxB
-		cs.srvMaxGain[i] = maxG
+		la.srvMaxBias[i] = maxB
+		la.srvMaxGain[i] = maxG
 	}
-	cs.rowSpanEnd = make([]int32, len(dc.Rows))
-	for i := range cs.rowSpanEnd {
-		cs.rowSpanEnd[i] = -1
+	la.rowSpanEnd = make([]int32, len(dc.Rows))
+	for i := range la.rowSpanEnd {
+		la.rowSpanEnd[i] = -1
 	}
 	for i, s := range dc.Servers {
-		cs.srvRow[i] = int32(s.Row)
-		cs.srvAisle[i] = int32(s.Aisle)
-		cs.srvModel[i] = uint8(s.GPU.Model)
-		cs.fleetTDPW += s.GPU.ServerTDPW
-		if end := cs.rowSpanEnd[s.Row]; end == -1 || end == int32(i) {
-			cs.rowSpanEnd[s.Row] = int32(i + 1)
+		la.srvRow[i] = int32(s.Row)
+		la.srvAisle[i] = int32(s.Aisle)
+		la.srvModel[i] = uint8(s.GPU.Model)
+		la.fleetTDPW += s.GPU.ServerTDPW
+		if end := la.rowSpanEnd[s.Row]; end == -1 || end == int32(i) {
+			la.rowSpanEnd[s.Row] = int32(i + 1)
 		}
 	}
 	// One serving profile and idle-power table per hardware generation
 	// present; the base generation reuses the profile built above.
-	cs.profileBy[spec.Model] = cs.Profile
+	la.profileBy[spec.Model] = la.profile
 	for _, m := range dc.Models() {
 		ms := layout.Spec(m)
-		cs.specBy[m] = ms
-		cs.idleWBy[m] = power.ServerPowerAtUniformLoad(&ms, 0)
-		cs.idleFracBy[m] = ms.GPUIdleW / ms.GPUTDPW
-		if cs.profileBy[m] == nil {
-			cs.profileBy[m] = llm.BuildProfile(ms, llm.DefaultWorkload())
+		la.specBy[m] = ms
+		la.idleWBy[m] = power.ServerPowerAtUniformLoad(&ms, 0)
+		la.idleFracBy[m] = ms.GPUIdleW / ms.GPUTDPW
+		if la.profileBy[m] == nil {
+			la.profileBy[m] = llm.BuildProfile(ms, llm.DefaultWorkload())
 		}
 		// The tick kernel's idle constants replay the fused loop's exact
 		// arithmetic — a per-GPU accumulation at the idle fraction, then
 		// the server-power and airflow passes — so the idle fast paths are
 		// bit-identical to the full sweep. The GPU count is the state's
 		// uniform per-server stride, as in the kernel.
-		mp := &cs.specBy[m]
+		mp := &la.specBy[m]
 		sum := 0.0
 		for g := 0; g < spec.GPUsPerServer; g++ {
-			sum += cs.idleFracBy[m] * mp.GPUTDPW
+			sum += la.idleFracBy[m] * mp.GPUTDPW
 		}
-		cs.idleTickWBy[m] = power.ServerPower(mp, sum, 0, thermal.FanFrac(0))
-		heatFrac := units.Clamp01((cs.idleTickWBy[m] - cs.idleWBy[m]) / (mp.ServerTDPW - cs.idleWBy[m]))
-		cs.idleAirflowBy[m] = thermal.Airflow(mp, heatFrac)
+		la.idleTickWBy[m] = power.ServerPower(mp, sum, 0, thermal.FanFrac(0))
+		heatFrac := units.Clamp01((la.idleTickWBy[m] - la.idleWBy[m]) / (mp.ServerTDPW - la.idleWBy[m]))
+		la.idleAirflowBy[m] = thermal.Airflow(mp, heatFrac)
 	}
-	cs.vmPhase = make([]int32, len(w.VMs))
+	// Pre-warm the lazily memoized aisle rosters: policies call
+	// Aisle.Servers() in capping paths, and the memo write would race when
+	// runs share the layout.
+	for _, a := range dc.Aisles {
+		a.Servers()
+	}
+	return la, nil
+}
+
+// buildWorkloadArtifacts materializes the workload and the artifacts derived
+// from it (seeded history, shared-phase index).
+func buildWorkloadArtifacts(sc Scenario, servers int) (*workloadArtifacts, error) {
+	w, err := workloadFor(sc, servers)
+	if err != nil {
+		return nil, err
+	}
+	wa := &workloadArtifacts{w: w}
+	wa.vmPhase = make([]int32, len(w.VMs))
 	phaseIdx := make(map[float64]int32)
 	for i, vm := range w.VMs {
-		cs.vmPhase[i] = -1
+		wa.vmPhase[i] = -1
 		if vm.Kind != trace.IaaS {
 			continue
 		}
@@ -189,20 +254,52 @@ func Compile(sc Scenario) (*CompiledScenario, error) {
 		}
 		idx, ok := phaseIdx[vm.Load.PhaseHours]
 		if !ok {
-			idx = int32(len(cs.phaseBy))
-			cs.phaseBy = append(cs.phaseBy, vm.Load.PhaseHours)
+			idx = int32(len(wa.phaseBy))
+			wa.phaseBy = append(wa.phaseBy, vm.Load.PhaseHours)
 			phaseIdx[vm.Load.PhaseHours] = idx
 		}
-		cs.vmPhase[i] = idx
+		wa.vmPhase[i] = idx
 	}
-	// Pre-warm the lazily memoized aisle rosters: policies call
-	// Aisle.Servers() in capping paths, and the memo write would race when
-	// runs share the layout.
-	for _, a := range dc.Aisles {
-		a.Servers()
+	wa.customerPeak, wa.endpointPeak = compileHistory(w)
+	return wa, nil
+}
+
+// buildOutside precomputes the outside-temperature series for the
+// scenario's window, seeded from the workload it runs against.
+func buildOutside(sc Scenario, w *trace.Workload) *trace.OutsideTemp {
+	return trace.NewOutsideTemp(sc.Region, sc.StartOffset+sc.Duration, 10*time.Minute, w.Config.Seed^outsideSeedXor)
+}
+
+// assemble wires pre-built artifacts into a CompiledScenario. The artifacts
+// may come from a fresh build or a CompileCache — every build of the same
+// content key is byte-identical, so assembly never depends on provenance.
+func assemble(sc Scenario, la *layoutArtifacts, wa *workloadArtifacts, outside *trace.OutsideTemp) *CompiledScenario {
+	return &CompiledScenario{
+		Scenario:      sc,
+		compiledFrom:  sc,
+		DC:            la.dc,
+		Workload:      wa.w,
+		Outside:       outside,
+		Profile:       la.profile,
+		Coeffs:        la.coeffs,
+		profileBy:     la.profileBy,
+		specBy:        la.specBy,
+		idleWBy:       la.idleWBy,
+		idleFracBy:    la.idleFracBy,
+		idleTickWBy:   la.idleTickWBy,
+		idleAirflowBy: la.idleAirflowBy,
+		srvModel:      la.srvModel,
+		fleetTDPW:     la.fleetTDPW,
+		srvRow:        la.srvRow,
+		srvAisle:      la.srvAisle,
+		srvMaxBias:    la.srvMaxBias,
+		srvMaxGain:    la.srvMaxGain,
+		rowSpanEnd:    la.rowSpanEnd,
+		customerPeak:  wa.customerPeak,
+		endpointPeak:  wa.endpointPeak,
+		vmPhase:       wa.vmPhase,
+		phaseBy:       wa.phaseBy,
 	}
-	cs.customerPeak, cs.endpointPeak = compileHistory(w)
-	return cs, nil
 }
 
 // workloadFor materializes the workload a scenario simulates over a fleet of
@@ -277,6 +374,23 @@ func (cs *CompiledScenario) Variant(mutate func(*Scenario)) *CompiledScenario {
 		mutate(&copy.Scenario)
 	}
 	return &copy
+}
+
+// ForScenario returns a variant of the compilation adopting sc's
+// runtime-only fields (Tick, Failures, RecordRowSeries, Observer, Shards).
+// The caller must ensure sc's compile-relevant fields are content-equal to
+// the compiled scenario's (ScenarioKey equality guarantees it); pointer-typed
+// sources (the replay trace, transform-chain steps) and the
+// layout-overwritten Workload.Servers are normalized to the compiled
+// scenario's own, so content-equal scenarios from different loads of the
+// same trace still pass Run's variant check.
+func (cs *CompiledScenario) ForScenario(sc Scenario) *CompiledScenario {
+	cp := *cs
+	sc.Trace = cs.compiledFrom.Trace
+	sc.TraceTransforms = cs.compiledFrom.TraceTransforms
+	sc.Workload.Servers = cs.compiledFrom.Workload.Servers
+	cp.Scenario = sc
+	return &cp
 }
 
 // checkRuntimeOnly verifies the scenario still matches the compiled

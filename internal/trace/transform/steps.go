@@ -403,6 +403,11 @@ func (s *Splice) Clone() Step { c := *s; return &c }
 // read-only.
 func (s *Splice) SetWorkload(w *trace.Workload) { s.other = w }
 
+// Workload returns the loaded overlay workload (nil until Chain.Load or
+// SetWorkload attaches it). Content-addressed caching hashes it directly:
+// the chain's canonical JSON names only the overlay's path, not its bytes.
+func (s *Splice) Workload() *trace.Workload { return s.other }
+
 // load resolves and reads the overlay trace (no-op when already attached).
 func (s *Splice) load(dir string) error {
 	if s.other != nil {
