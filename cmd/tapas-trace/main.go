@@ -10,7 +10,9 @@
 //	tapas-trace -export trace.csv -vms trace.vms.csv -preset small
 //	tapas-trace -transform chain.json -in trace.csv -out scaled.csv
 //	tapas-trace -transform '[{"op":"demand_scale","factor":2}]' -in trace.csv -out scaled.csv
+//	tapas-trace -export trace.csv -preset quick -requests-out trace.requests.csv -requests-scale 0.05
 //	tapas-trace -import-azure azure-llm.csv -out trace.csv -servers 80
+//	tapas-trace -import-azure azure-llm.csv -out trace.csv -requests-out trace.requests.csv
 //	tapas-trace -stats examples/scenarios/pinned-small.trace.csv
 //	tapas-trace -replay examples/scenarios/replay-pinned.json
 //
@@ -23,7 +25,11 @@
 // artifacts that replay byte-identically to applying the same chain in-spec.
 // -import-azure ingests an Azure-LLM-inference-style request log
 // (timestamp,endpoint,prompt_tokens,output_tokens) into a replayable trace
-// via binned demand reconstruction. -stats summarizes a recorded trace:
+// via binned demand reconstruction; with -requests-out the source rows are
+// also wired straight through as a request-level replay log (workload.requests)
+// instead of being binned away. -export -requests-out generates the synthetic
+// request stream of the recorded workload (optionally rate-thinned by
+// -requests-scale) for the same purpose. -stats summarizes a recorded trace:
 // fleet, kind mix, endpoints, demand percentiles. -replay runs a spec whose
 // workload.trace pins a recorded file and prints its campaign report to
 // stdout.
@@ -40,6 +46,7 @@ import (
 	"time"
 
 	tapas "github.com/tapas-sim/tapas"
+	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/scenario"
 	"github.com/tapas-sim/tapas/internal/trace"
 	"github.com/tapas-sim/tapas/internal/trace/transform"
@@ -66,6 +73,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		azure    = fs.String("import-azure", "", "import: ingest an Azure-LLM-inference-style request CSV (timestamp,endpoint,prompt_tokens,output_tokens) into a replayable workload CSV at -out")
 		servers  = fs.Int("servers", 80, "with -import-azure: target cluster size the reconstructed workload replays against")
 		bin      = fs.Duration("bin", 10*time.Minute, "with -import-azure: demand-reconstruction bin width")
+		reqsOut  = fs.String("requests-out", "", "with -export / -import-azure: also write the per-request log CSV (workload.requests replay input) to this path")
+		reqScale = fs.Float64("requests-scale", 1, "with -export -requests-out: scale the generated request rate (thin the log so committed artifacts stay small)")
 		stats    = fs.String("stats", "", "inspect: summarize a recorded workload CSV")
 		replay   = fs.String("replay", "", "replay: run a scenario spec whose workload.trace pins a recorded CSV")
 		parallel = fs.Int("parallel", 0, "with -replay: worker pool size (0 selects GOMAXPROCS)")
@@ -91,11 +100,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var ok map[string]bool
 	switch {
 	case *export != "":
-		mode, ok = "-export", map[string]bool{"export": true, "vms": true, "spec": true, "preset": true, "seed": true}
+		mode, ok = "-export", map[string]bool{"export": true, "vms": true, "spec": true, "preset": true, "seed": true, "requests-out": true, "requests-scale": true}
 	case *transf != "":
 		mode, ok = "-transform", map[string]bool{"transform": true, "in": true, "out": true}
 	case *azure != "":
-		mode, ok = "-import-azure", map[string]bool{"import-azure": true, "out": true, "servers": true, "bin": true, "seed": true}
+		mode, ok = "-import-azure", map[string]bool{"import-azure": true, "out": true, "servers": true, "bin": true, "seed": true, "requests-out": true}
 	case *stats != "":
 		mode, ok = "-stats", map[string]bool{"stats": true}
 	default:
@@ -120,11 +129,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tapas-trace: -seed conflicts with -spec (set the seed in the spec instead)")
 			return 2
 		}
-		return runExport(*export, *vmsOut, *specPath, *preset, *seed, stderr)
+		return runExport(*export, *vmsOut, *specPath, *preset, *seed, *reqsOut, *reqScale, stderr)
 	case *transf != "":
 		return runTransform(*transf, *in, *out, stderr)
 	case *azure != "":
-		return runImportAzure(*azure, *out, *servers, *bin, *seed, stderr)
+		return runImportAzure(*azure, *out, *servers, *bin, *seed, *reqsOut, stderr)
 	case *stats != "":
 		return runStats(*stats, stdout, stderr)
 	default:
@@ -144,8 +153,8 @@ func flagWasSet(fs *flag.FlagSet, name string) bool {
 
 // runExport materializes the workload a spec or preset would simulate and
 // archives it as the versioned workload CSV (plus, optionally, the flat
-// per-VM table).
-func runExport(out, vmsOut, specPath, preset string, seed uint64, stderr io.Writer) int {
+// per-VM table and the per-request log for request-level replay).
+func runExport(out, vmsOut, specPath, preset string, seed uint64, reqsOut string, reqScale float64, stderr io.Writer) int {
 	if specPath != "" && preset != "" {
 		fmt.Fprintln(stderr, "tapas-trace: -spec and -preset are mutually exclusive")
 		return 2
@@ -216,6 +225,36 @@ func runExport(out, vmsOut, specPath, preset string, seed uint64, stderr io.Writ
 		}
 		fmt.Fprintf(stderr, "wrote flat VM table to %s\n", vmsOut)
 	}
+	if reqsOut != "" {
+		if reqScale <= 0 {
+			fmt.Fprintf(stderr, "tapas-trace: -requests-scale %v must be positive\n", reqScale)
+			return 2
+		}
+		// One Poisson stream per endpoint (rate scaled by -requests-scale:
+		// thinning a Poisson process is the same process at the lower rate),
+		// merged into one arrival-sorted log with dense sequential IDs — the
+		// canonical requests-CSV form workload.requests replays.
+		var reqs []llm.Request
+		for _, ep := range wl.Endpoints {
+			sep := ep
+			sep.PeakRPSPerVM *= reqScale
+			reqs = append(reqs, sep.Requests(0, wl.Config.Duration, wl.Config.Seed)...)
+		}
+		sort.Slice(reqs, func(i, j int) bool {
+			if reqs[i].Arrival != reqs[j].Arrival {
+				return reqs[i].Arrival < reqs[j].Arrival
+			}
+			return reqs[i].ID < reqs[j].ID
+		})
+		for i := range reqs {
+			reqs[i].ID = int64(i)
+		}
+		if err := trace.SaveRequestsCSV(reqsOut, reqs); err != nil {
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %d requests (rate scale %g) to %s\n", len(reqs), reqScale, reqsOut)
+	}
 	return 0
 }
 
@@ -275,13 +314,25 @@ func runTransform(chainArg, in, out string, stderr io.Writer) int {
 }
 
 // runImportAzure ingests an Azure-LLM-inference-style request log and writes
-// the reconstructed replayable workload CSV.
-func runImportAzure(in, out string, servers int, bin time.Duration, seed uint64, stderr io.Writer) int {
+// the reconstructed replayable workload CSV. With -requests-out it also
+// passes the source rows straight through as a request-level replay log
+// instead of binning them away.
+func runImportAzure(in, out string, servers int, bin time.Duration, seed uint64, reqsOut string, stderr io.Writer) int {
 	if out == "" {
 		fmt.Fprintln(stderr, "tapas-trace: -import-azure needs -out (reconstructed trace path)")
 		return 2
 	}
-	wl, err := trace.LoadAzureLLMCSV(in, trace.AzureImportConfig{Servers: servers, Bin: bin, Seed: seed})
+	cfg := trace.AzureImportConfig{Servers: servers, Bin: bin, Seed: seed}
+	var (
+		wl   *trace.Workload
+		reqs []llm.Request
+		err  error
+	)
+	if reqsOut != "" {
+		wl, reqs, err = trace.LoadAzureLLMCSVRequests(in, cfg)
+	} else {
+		wl, err = trace.LoadAzureLLMCSV(in, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "tapas-trace:", err)
 		return 1
@@ -292,6 +343,13 @@ func runImportAzure(in, out string, servers int, bin time.Duration, seed uint64,
 	}
 	fmt.Fprintf(stderr, "imported %d endpoints / %d SaaS VMs over %v (fleet %d servers) to %s\n",
 		len(wl.Endpoints), len(wl.VMs), wl.Config.Duration, wl.Config.Servers, out)
+	if reqsOut != "" {
+		if err := trace.SaveRequestsCSV(reqsOut, reqs); err != nil {
+			fmt.Fprintln(stderr, "tapas-trace:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %d requests to %s\n", len(reqs), reqsOut)
+	}
 	return 0
 }
 

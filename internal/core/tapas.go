@@ -6,6 +6,7 @@ import (
 
 	"github.com/tapas-sim/tapas/internal/cluster"
 	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
 
@@ -109,6 +110,54 @@ func (t *TAPAS) Route(st *cluster.State, ep trace.EndpointSpec, prompt, output f
 		return
 	}
 	t.route.route(st, ep, prompt, output)
+}
+
+// affinityDiscount scales the queued-work score of instances that already
+// hold a customer's KV-cache state, so request-level routing prefers warm
+// instances (§4.2's cache-affinity routing) without starving cold ones: a
+// warm instance loses preference once its backlog doubles a cold one's.
+const affinityDiscount = 0.5
+
+// unsafePenaltySecs pushes instances with no thermal/power headroom behind
+// every safe instance in the request-routing score; it is only ever decisive
+// when all instances are unsafe, where relative backlog still breaks ties.
+const unsafePenaltySecs = 1e6
+
+// RouteRequest implements sim.RequestRouter for request-level replay. With
+// the Route lever active, requests prefer instances already serving the same
+// customer (KV-cache affinity) and avoid instances whose server lacks
+// thermal or power headroom — the same signals the fluid token router uses.
+// With the lever off it defers to the engine's least-queued-work default.
+func (t *TAPAS) RouteRequest(st *cluster.State, insts []*cluster.VM, req llm.Request) (int, bool) {
+	if !t.opts.Route {
+		return 0, false
+	}
+	throttleC := st.Spec.ThrottleTempC
+	best, bestScore := -1, math.Inf(1)
+	for i, vm := range insts {
+		in := vm.Instance
+		if in.Reloading() {
+			continue
+		}
+		score := in.DemandSeconds()
+		if in.HasAffinity(req.Customer) {
+			score *= affinityDiscount
+		}
+		srv := st.DC.Servers[vm.Server]
+		rowUse := st.RowPowerW[srv.Row] / (st.Budget.RowLimitW(srv.Row) + 1)
+		aisleUse := st.AisleDemandCFM[srv.Aisle] / (st.AisleLimitCFM(srv.Aisle) + 1)
+		tempUse := st.ServerHotGPUTempC[vm.Server] / (throttleC - 2)
+		if headroomOf(rowUse, aisleUse, tempUse) <= 0 {
+			score += unsafePenaltySecs
+		}
+		if score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best < 0 {
+		return 0, false // every instance reloading; engine default applies
+	}
+	return best, true
 }
 
 // Configure implements sim.Policy. Besides the Instance Configurator it

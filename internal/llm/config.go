@@ -1,10 +1,3 @@
-// Package llm models LLM inference serving the way the paper uses it: a
-// configuration space (model size, quantization, tensor parallelism, batch
-// size, GPU frequency) with per-phase (prefill/decode) performance, power and
-// temperature profiles (Fig. 15), goodput under TTFT/TBT SLOs (Fig. 16), a
-// Pareto frontier for the Instance Configurator, and two execution models —
-// a fluid per-tick Instance for cluster-scale simulation and an
-// iteration-level EngineSim for fine-grained runs.
 package llm
 
 import (

@@ -32,6 +32,11 @@ type Instance struct {
 	affinity    map[int]time.Duration
 	affinityNow time.Duration
 
+	// queue, when non-nil, switches the instance into request-level replay
+	// mode: Step runs the discrete-event continuous-batching queue instead
+	// of the fluid token drain. See AttachQueue.
+	queue *RequestQueue
+
 	// Per-tick outputs, refreshed by Step.
 	BusyFrac     float64 // fraction of the tick spent serving
 	PrefillShare float64 // fraction of busy time in prefill
@@ -128,7 +133,12 @@ func (in *Instance) EnqueueBulk(promptTokens, outputTokens float64) {
 }
 
 // QueueTokens returns the pending work in tokens (prompt + output).
-func (in *Instance) QueueTokens() float64 { return in.pendingPrefill + in.pendingDecode }
+func (in *Instance) QueueTokens() float64 {
+	if q := in.queue; q != nil {
+		return q.waitingPrompt + q.waitingOutput + q.activeOutLeft
+	}
+	return in.pendingPrefill + in.pendingDecode
+}
 
 // Reloading reports whether the instance is mid-reconfiguration.
 func (in *Instance) Reloading() bool { return in.reloadLeft > 0 }
@@ -144,6 +154,9 @@ func (in *Instance) Reconfigure(to Config) {
 // DemandSeconds estimates how many seconds of work currently sit in the
 // queues under the present configuration.
 func (in *Instance) DemandSeconds() float64 {
+	if in.queue != nil {
+		return in.queueDemandSeconds()
+	}
 	pr := in.prefillRate
 	dr := in.decodeRate
 	if pr <= 0 || dr <= 0 {
@@ -163,7 +176,12 @@ func (in *Instance) TickEnqueued() float64 { return in.enqueuedTokens }
 // pairs it with precompiled idle-server constants to skip the full physics
 // of drained servers; callers must fall back to Step when it returns false.
 func (in *Instance) StepDrained(dt time.Duration) bool {
-	if in.pendingPrefill != 0 || in.pendingDecode != 0 || in.reloadLeft != 0 {
+	if q := in.queue; q != nil {
+		if !q.Idle() || in.reloadLeft != 0 {
+			return false
+		}
+		q.now += in.tickSecs(dt)
+	} else if in.pendingPrefill != 0 || in.pendingDecode != 0 || in.reloadLeft != 0 {
 		return false
 	}
 	in.enqueuedTokens = 0
@@ -172,8 +190,28 @@ func (in *Instance) StepDrained(dt time.Duration) bool {
 	return true
 }
 
+// subSteps is the fluid Step's intra-tick resolution.
+const subSteps = 4
+
+// tickSecs converts the tick duration to seconds, memoized on the dt value
+// because Step runs per instance per tick with the same dt.
+func (in *Instance) tickSecs(dt time.Duration) float64 {
+	if dt != in.lastDt {
+		in.lastDt = dt
+		in.cachedSecs = dt.Seconds()
+		in.cachedSub = in.cachedSecs / subSteps
+	}
+	return in.cachedSecs
+}
+
 // Step advances the instance by dt, draining queues and updating telemetry.
+// In request-level replay mode (AttachQueue) it instead executes the
+// discrete-event continuous-batching queue.
 func (in *Instance) Step(dt time.Duration) {
+	if in.queue != nil {
+		in.stepQueue(dt)
+		return
+	}
 	in.enqueuedTokens = 0
 	in.affinityNow += dt
 	in.BusyFrac, in.PrefillShare = 0, 0
@@ -193,13 +231,7 @@ func (in *Instance) Step(dt time.Duration) {
 		dt -= in.reloadLeft
 		in.reloadLeft = 0
 	}
-	const subSteps = 4
-	if dt != in.lastDt {
-		in.lastDt = dt
-		in.cachedSecs = dt.Seconds()
-		in.cachedSub = in.cachedSecs / subSteps
-	}
-	secs := in.cachedSecs
+	secs := in.tickSecs(dt)
 	if secs <= 0 {
 		return
 	}

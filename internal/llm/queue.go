@@ -1,0 +1,272 @@
+package llm
+
+import (
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/units"
+)
+
+// Completion is the latency record of one finished request, drained by the
+// simulation engine at end of run. Latencies are in seconds: TTFT is first
+// token minus arrival, TBT the maximum gap between consecutive output tokens,
+// QueueDelay the wait from arrival until prefill started. Violated reports
+// whether TTFT or TBT exceeded the endpoint's SLOs.
+type Completion struct {
+	Endpoint   int
+	TTFT       float64
+	TBT        float64
+	QueueDelay float64
+	Violated   bool
+}
+
+// opKind identifies the engine operation a RequestQueue is executing.
+type opKind uint8
+
+const (
+	opNone opKind = iota
+	opPrefill
+	opDecode
+)
+
+// queuedReq is a request tracked through the queue with its latency marks
+// (seconds on the queue's wall clock).
+type queuedReq struct {
+	req        Request
+	tokensLeft int
+	firstToken float64
+	queueDelay float64
+	maxTBT     float64
+}
+
+// RequestQueue is the discrete-event continuous-batching state of one
+// instance in request-level replay mode: a FIFO of waiting requests, the
+// running decode batch, and the in-flight engine operation. It mirrors
+// EngineSim's iteration-level semantics — prefill admits the oldest waiting
+// request whenever the batch has room, otherwise one decode iteration
+// advances every running sequence by one token — but is driven by the tick
+// kernel: each tick consumes wall time at the instance's SpeedFactor, and an
+// operation that outlives the tick carries its remaining work (and its true
+// start time, so TTFT/TBT measure real wall spans across frequency changes)
+// into the next one.
+//
+// All latency bookkeeping is in float64 seconds on an internal wall clock
+// that advances by exactly one tick per Step, so results are independent of
+// how the fleet is sharded across worker goroutines.
+type RequestQueue struct {
+	now float64 // wall clock, seconds since simulation start
+
+	waiting []*queuedReq
+	active  []*queuedReq
+
+	op         opKind
+	opUnitLeft float64 // full-speed seconds of work remaining in the op
+	opStart    float64 // wall clock when the op began
+
+	// O(1) backlog bookkeeping (token sums over waiting/active).
+	waitingPrompt float64
+	waitingOutput float64
+	activeOutLeft float64
+
+	completions []Completion
+}
+
+// Idle reports whether the queue holds no work at all.
+func (q *RequestQueue) Idle() bool {
+	return q.op == opNone && len(q.waiting) == 0 && len(q.active) == 0
+}
+
+// WaitingLen returns the number of requests not yet prefilled.
+func (q *RequestQueue) WaitingLen() int { return len(q.waiting) }
+
+// ActiveLen returns the running decode batch size.
+func (q *RequestQueue) ActiveLen() int { return len(q.active) }
+
+// AttachQueue switches the instance into request-level replay mode: Step
+// executes a continuous-batching queue instead of the fluid token drain. The
+// queue's wall clock starts at `at` (the simulation time the instance begins
+// serving), so latencies of requests admitted later are measured correctly.
+func (in *Instance) AttachQueue(at time.Duration) {
+	in.queue = &RequestQueue{now: at.Seconds()}
+}
+
+// Queue returns the attached request queue, nil in fluid mode.
+func (in *Instance) Queue() *RequestQueue { return in.queue }
+
+// EnqueueRequest admits one request to the instance's queue (request-level
+// replay mode only). The router calls it with requests whose arrival time
+// precedes the current tick, so queueing delay is always non-negative.
+func (in *Instance) EnqueueRequest(req Request) {
+	in.enqueuedTokens += float64(req.TotalTokens())
+	in.Touch(req.Customer)
+	q := in.queue
+	q.waiting = append(q.waiting, &queuedReq{req: req})
+	q.waitingPrompt += float64(req.PromptTokens)
+	q.waitingOutput += float64(req.OutputTokens)
+}
+
+// DrainCompletions returns the latency records accumulated since the last
+// drain and clears them. Returns nil in fluid mode.
+func (in *Instance) DrainCompletions() []Completion {
+	if in.queue == nil {
+		return nil
+	}
+	out := in.queue.completions
+	in.queue.completions = nil
+	return out
+}
+
+// stepQueue is Step in request-level replay mode: it advances the queue's
+// wall clock by dt, executing engine operations at the current SpeedFactor
+// and carrying a partially finished operation across the tick boundary.
+func (in *Instance) stepQueue(dt time.Duration) {
+	q := in.queue
+	in.enqueuedTokens = 0
+	in.affinityNow += dt
+	in.BusyFrac, in.PrefillShare = 0, 0
+	dtSecs := in.tickSecs(dt)
+	tickEnd := q.now + dtSecs
+	t := q.now
+	if in.reloadLeft > 0 {
+		if in.reloadLeft >= dt {
+			in.reloadLeft -= dt
+			q.now = tickEnd
+			in.BacklogSecs = in.DemandSeconds()
+			return
+		}
+		t += in.reloadLeft.Seconds()
+		in.reloadLeft = 0
+	}
+	sf := in.SpeedFactor
+	if sf <= 0 || sf > 1 {
+		sf = 1
+	}
+	var busySecs, prefillSecs float64
+	for t < tickEnd {
+		if q.op == opNone && !q.startOp(in, t) {
+			break // drained: no waiting requests, no running batch
+		}
+		need := q.opUnitLeft / sf
+		if rem := tickEnd - t; need > rem {
+			// The op outlives the tick: consume the remaining budget and
+			// carry the rest (opStart is preserved, so the spans recorded at
+			// completion cover the full wall time).
+			q.opUnitLeft -= rem * sf
+			busySecs += rem
+			if q.op == opPrefill {
+				prefillSecs += rem
+			}
+			t = tickEnd
+			break
+		}
+		busySecs += need
+		if q.op == opPrefill {
+			prefillSecs += need
+		}
+		t += need
+		q.finishOp(in, t)
+	}
+	q.now = tickEnd
+	if busySecs > 0 {
+		in.BusyFrac = units.Clamp01(busySecs / dtSecs)
+		in.PrefillShare = units.Clamp01(prefillSecs / busySecs)
+	}
+	in.BacklogSecs = in.DemandSeconds()
+}
+
+// startOp picks the next engine operation, mirroring EngineSim: prefill the
+// oldest waiting request while the batch has room, otherwise run one decode
+// iteration over the whole running batch. Reports false when drained.
+func (q *RequestQueue) startOp(in *Instance, t float64) bool {
+	if len(q.waiting) > 0 && len(q.active) < in.Config.MaxBatch {
+		r := q.waiting[0]
+		pr := in.prefillRate
+		if pr <= 0 {
+			return false
+		}
+		q.op = opPrefill
+		q.opUnitLeft = float64(r.req.PromptTokens) / pr
+		q.opStart = t
+		r.queueDelay = t - r.req.Arrival.Seconds()
+		return true
+	}
+	if len(q.active) > 0 {
+		q.op = opDecode
+		q.opUnitLeft = DecodeStepTime(in.Spec, in.Config, len(q.active)).Seconds()
+		q.opStart = t
+		return true
+	}
+	return false
+}
+
+// finishOp applies the effects of the completed operation at wall time t.
+func (q *RequestQueue) finishOp(in *Instance, t float64) {
+	switch q.op {
+	case opPrefill:
+		r := q.waiting[0]
+		q.waiting = q.waiting[1:]
+		q.waitingPrompt -= float64(r.req.PromptTokens)
+		q.waitingOutput -= float64(r.req.OutputTokens)
+		in.ServedTokens += float64(r.req.PromptTokens)
+		r.firstToken = t
+		if r.req.OutputTokens <= 0 {
+			q.complete(in, r)
+		} else {
+			r.tokensLeft = r.req.OutputTokens
+			q.active = append(q.active, r)
+			q.activeOutLeft += float64(r.req.OutputTokens)
+		}
+	case opDecode:
+		n := float64(len(q.active))
+		in.ServedTokens += n
+		q.activeOutLeft -= n
+		keep := q.active[:0]
+		for _, r := range q.active {
+			r.tokensLeft--
+			if span := t - q.opStart; span > r.maxTBT {
+				r.maxTBT = span
+			}
+			if r.tokensLeft <= 0 {
+				q.complete(in, r)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		for i := len(keep); i < len(q.active); i++ {
+			q.active[i] = nil // release completed requests
+		}
+		q.active = keep
+	}
+	q.op = opNone
+	q.opUnitLeft = 0
+}
+
+// complete records a finished request and folds it into the instance's
+// cumulative accounting.
+func (q *RequestQueue) complete(in *Instance, r *queuedReq) {
+	ttft := r.firstToken - r.req.Arrival.Seconds()
+	violated := ttft > in.SLOs.TTFT.Seconds() || r.maxTBT > in.SLOs.TBT.Seconds()
+	in.CompletedRequests++
+	in.QualityWeight += in.Config.Quality()
+	if violated {
+		in.SLOViolatedReqs++
+	}
+	q.completions = append(q.completions, Completion{
+		Endpoint:   r.req.Endpoint,
+		TTFT:       ttft,
+		TBT:        r.maxTBT,
+		QueueDelay: r.queueDelay,
+		Violated:   violated,
+	})
+}
+
+// queueDemandSeconds estimates the seconds of work queued in request-level
+// replay mode: the in-flight op's remainder, waiting prompts at the prefill
+// rate, and all outstanding output tokens at the full-batch decode rate.
+func (in *Instance) queueDemandSeconds() float64 {
+	q := in.queue
+	pr, dr := in.prefillRate, in.decodeRate
+	if pr <= 0 || dr <= 0 {
+		return 0
+	}
+	return q.opUnitLeft + q.waitingPrompt/pr + (q.waitingOutput+q.activeOutLeft)/dr
+}

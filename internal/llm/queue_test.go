@@ -1,0 +1,230 @@
+package llm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/regress"
+)
+
+func queueInstance(c Config) *Instance {
+	spec := layout.Spec(layout.A100)
+	w := DefaultWorkload()
+	in := NewInstance(spec, c, w, ComputeSLOs(spec, DefaultConfig(), w))
+	in.AttachQueue(0)
+	return in
+}
+
+// TestQueueSingleRequestLatencies pins the analytic latencies of one request
+// served alone: TTFT is the prompt's prefill time, TBT one single-sequence
+// decode step, queueing delay zero.
+func TestQueueSingleRequestLatencies(t *testing.T) {
+	in := queueInstance(DefaultConfig())
+	req := Request{ID: 1, Endpoint: 2, PromptTokens: 1000, OutputTokens: 10}
+	in.EnqueueRequest(req)
+	for i := 0; i < 10 && len(in.Queue().completions) == 0; i++ {
+		in.Step(10 * time.Second)
+	}
+	comps := in.DrainCompletions()
+	if len(comps) != 1 {
+		t.Fatalf("got %d completions, want 1", len(comps))
+	}
+	c := comps[0]
+	if c.Endpoint != 2 {
+		t.Errorf("endpoint %d, want 2", c.Endpoint)
+	}
+	wantTTFT := float64(req.PromptTokens) / PrefillRate(in.Spec, in.Config)
+	if math.Abs(c.TTFT-wantTTFT) > 1e-9 {
+		t.Errorf("TTFT %v, want %v", c.TTFT, wantTTFT)
+	}
+	wantTBT := DecodeStepTime(in.Spec, in.Config, 1).Seconds()
+	if math.Abs(c.TBT-wantTBT) > 1e-9 {
+		t.Errorf("TBT %v, want %v", c.TBT, wantTBT)
+	}
+	if c.QueueDelay != 0 {
+		t.Errorf("queue delay %v, want 0", c.QueueDelay)
+	}
+	if c.Violated {
+		t.Error("unloaded request flagged as SLO-violated")
+	}
+	if in.CompletedRequests != 1 {
+		t.Errorf("CompletedRequests %v, want 1", in.CompletedRequests)
+	}
+	if want := float64(req.TotalTokens()); in.ServedTokens != want {
+		t.Errorf("ServedTokens %v, want %v", in.ServedTokens, want)
+	}
+}
+
+// TestQueueMatchesEngineSim cross-validates the tick-driven queue against the
+// self-clocked EngineSim on an identical burst: with every request present at
+// t=0 both models execute the same operation sequence, so per-request TTFT
+// and TBT must agree to floating-point noise regardless of tick size.
+func TestQueueMatchesEngineSim(t *testing.T) {
+	cfg := Config{Model: Llama70B, Quant: FP16, TP: 8, MaxBatch: 4, FreqFrac: 1}
+	var reqs []Request
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, Request{
+			ID: int64(i), Customer: i % 3,
+			PromptTokens: 500 + 100*i, OutputTokens: 20 + i,
+		})
+	}
+	spec := layout.Spec(layout.A100)
+	slos := ComputeSLOs(spec, DefaultConfig(), DefaultWorkload())
+	ref := NewEngineSim(spec, cfg).Run(reqs, time.Hour, slos)
+
+	in := queueInstance(cfg)
+	for _, r := range reqs {
+		in.EnqueueRequest(r)
+	}
+	var comps []Completion
+	for i := 0; i < 10000 && len(comps) < len(reqs); i++ {
+		in.Step(time.Second)
+		comps = append(comps, in.DrainCompletions()...)
+	}
+	if len(comps) != ref.Completed {
+		t.Fatalf("queue completed %d, EngineSim %d", len(comps), ref.Completed)
+	}
+	// Both models run the same op sequence, so the latency samples agree and
+	// identical percentile evaluations must too.
+	ttfts := make([]float64, 0, len(comps))
+	tbts := make([]float64, 0, len(comps))
+	for _, c := range comps {
+		ttfts = append(ttfts, c.TTFT)
+		tbts = append(tbts, c.TBT)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"TTFT p50", regress.Percentile(ttfts, 50), ref.TTFTP50.Seconds()},
+		{"TTFT p99", regress.Percentile(ttfts, 99), ref.TTFTP99.Seconds()},
+		{"TBT p99", regress.Percentile(tbts, 99), ref.TBTP99.Seconds()},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-6*c.want {
+			t.Errorf("%s: queue %v, EngineSim %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestQueueOpCarriesAcrossTicks pins tick-size independence: the same burst
+// served with 1s ticks and with 30s ticks yields completions whose latencies
+// agree to floating-point noise, because a partially executed operation
+// carries its remaining work and true start time across tick boundaries.
+func TestQueueOpCarriesAcrossTicks(t *testing.T) {
+	cfg := Config{Model: Llama70B, Quant: FP16, TP: 8, MaxBatch: 16, FreqFrac: 1}
+	var reqs []Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, Request{ID: int64(i), PromptTokens: 2000, OutputTokens: 50})
+	}
+	run := func(tick time.Duration) []Completion {
+		in := queueInstance(cfg)
+		for _, r := range reqs {
+			in.EnqueueRequest(r)
+		}
+		var comps []Completion
+		for i := 0; i < 100000 && len(comps) < len(reqs); i++ {
+			in.Step(tick)
+			comps = append(comps, in.DrainCompletions()...)
+		}
+		return comps
+	}
+	fine, coarse := run(time.Second), run(30*time.Second)
+	if len(fine) != len(reqs) || len(coarse) != len(reqs) {
+		t.Fatalf("completions: fine %d, coarse %d, want %d", len(fine), len(coarse), len(reqs))
+	}
+	for i := range fine {
+		if math.Abs(fine[i].TTFT-coarse[i].TTFT) > 1e-6 {
+			t.Errorf("req %d TTFT: fine %v, coarse %v", i, fine[i].TTFT, coarse[i].TTFT)
+		}
+		if math.Abs(fine[i].TBT-coarse[i].TBT) > 1e-6 {
+			t.Errorf("req %d TBT: fine %v, coarse %v", i, fine[i].TBT, coarse[i].TBT)
+		}
+	}
+}
+
+// TestQueueSpeedFactorSlowsServing pins that a capped instance (SpeedFactor
+// 0.5) takes twice the wall time for the same prefill work.
+func TestQueueSpeedFactorSlowsServing(t *testing.T) {
+	run := func(sf float64) float64 {
+		in := queueInstance(DefaultConfig())
+		in.SpeedFactor = sf
+		in.EnqueueRequest(Request{ID: 1, PromptTokens: 4000, OutputTokens: 0})
+		for i := 0; i < 100 && len(in.Queue().completions) == 0; i++ {
+			in.Step(time.Second)
+		}
+		comps := in.DrainCompletions()
+		if len(comps) != 1 {
+			t.Fatalf("sf=%v: got %d completions", sf, len(comps))
+		}
+		return comps[0].TTFT
+	}
+	full, half := run(1), run(0.5)
+	if math.Abs(half-2*full) > 1e-9 {
+		t.Errorf("TTFT at half speed %v, want 2× full-speed %v", half, full)
+	}
+}
+
+// TestQueueSLOViolationFlag pins the violation check: impossible SLO bounds
+// flag every completion and count it in SLOViolatedReqs.
+func TestQueueSLOViolationFlag(t *testing.T) {
+	spec := layout.Spec(layout.A100)
+	w := DefaultWorkload()
+	in := NewInstance(spec, DefaultConfig(), w, SLOs{TTFT: time.Nanosecond, TBT: time.Nanosecond})
+	in.AttachQueue(0)
+	in.EnqueueRequest(Request{ID: 1, PromptTokens: 1000, OutputTokens: 5})
+	for i := 0; i < 100 && len(in.Queue().completions) == 0; i++ {
+		in.Step(time.Second)
+	}
+	comps := in.DrainCompletions()
+	if len(comps) != 1 || !comps[0].Violated {
+		t.Fatalf("want one violated completion, got %+v", comps)
+	}
+	if in.SLOViolatedReqs != 1 {
+		t.Errorf("SLOViolatedReqs %v, want 1", in.SLOViolatedReqs)
+	}
+}
+
+// TestQueueStepDrained pins the drained fast path in replay mode: it applies
+// only when the queue is empty, and keeps the wall clock advancing so a
+// request arriving later still measures a correct queueing delay.
+func TestQueueStepDrained(t *testing.T) {
+	in := queueInstance(DefaultConfig())
+	if !in.StepDrained(time.Minute) {
+		t.Fatal("StepDrained false on an idle queue")
+	}
+	// The clock advanced while idle: a request that arrived at t=30s and is
+	// admitted at t=60s has 30s of queueing delay before prefill starts.
+	in.EnqueueRequest(Request{ID: 1, PromptTokens: 1000, OutputTokens: 0, Arrival: 30 * time.Second})
+	if in.StepDrained(time.Minute) {
+		t.Fatal("StepDrained true with a queued request")
+	}
+	in.Step(time.Minute)
+	comps := in.DrainCompletions()
+	if len(comps) != 1 {
+		t.Fatalf("got %d completions, want 1", len(comps))
+	}
+	if got := comps[0].QueueDelay; math.Abs(got-30) > 1e-9 {
+		t.Errorf("queue delay %v, want 30s", got)
+	}
+}
+
+// TestQueueZeroOutputCompletesAtPrefill pins that a prompt-only request
+// finishes at prefill end with zero TBT.
+func TestQueueZeroOutputCompletesAtPrefill(t *testing.T) {
+	in := queueInstance(DefaultConfig())
+	in.EnqueueRequest(Request{ID: 1, PromptTokens: 100, OutputTokens: 0})
+	in.Step(time.Minute)
+	comps := in.DrainCompletions()
+	if len(comps) != 1 {
+		t.Fatalf("got %d completions, want 1", len(comps))
+	}
+	if comps[0].TBT != 0 {
+		t.Errorf("TBT %v, want 0", comps[0].TBT)
+	}
+	if !in.Queue().Idle() {
+		t.Error("queue not idle after the only request completed")
+	}
+}

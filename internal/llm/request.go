@@ -6,6 +6,7 @@ import "time"
 type Request struct {
 	ID           int64
 	Customer     int // customer identity, used for KV-cache affinity routing
+	Endpoint     int // SaaS endpoint (model deployment) the request targets
 	PromptTokens int
 	OutputTokens int
 	Arrival      time.Duration // offset from simulation start

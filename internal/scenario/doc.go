@@ -1,0 +1,20 @@
+// Package scenario implements declarative simulation scenarios: a JSON spec
+// format describing one simulation setup (layout scale and GPU mix, workload
+// mix, weather, oversubscription, emergency schedule, policy set) plus sweep
+// axes that expand the spec into a campaign grid. The campaign runner
+// compiles each unique scenario once (sim.Compile) and fans the runs out
+// across a bounded worker pool (experiments.RunParallel), emitting
+// deterministic text/CSV/JSON reports.
+//
+// Specs make every "what-if" campaign of the paper's evaluation — and many
+// the hard-coded experiment runners cannot express (heterogeneous A100+H100
+// fleets, weather sweeps, rolling emergencies) — a committed file instead of
+// a new runner. See examples/scenarios/.
+//
+// A spec whose workload carries a per-request log (workload.requests, a CSV
+// recorded by tapas-trace) runs in request-level replay mode: report columns
+// can then include per-endpoint TTFT/TBT/queueing-delay percentiles and SLO
+// attainment (see report.go's sloMetrics and the "@ep<N>" metric suffix),
+// and transform.demand_scale axes scale the request log together with the
+// binned demand.
+package scenario

@@ -60,20 +60,79 @@ var metrics = []Metric{
 		func(r *sim.Result, _ Prov) float64 { return float64(r.PlacementRejects) }},
 }
 
+// sloMetric is one request-level replay column. These metrics are populated
+// only when the scenario carries a request log (workload.requests); in binned
+// mode every completion count is zero and they evaluate to 0. Each is
+// addressable in aggregate form ("ttft_p99_ms", over every endpoint) or per
+// endpoint with an "@ep<N>" suffix ("ttft_p99_ms@ep0").
+type sloMetric struct {
+	ID   string
+	Desc string
+	Fmt  string
+	Eval func(r *sim.Result, ep int) float64
+}
+
+// sloMetrics is the ordered registry of request-level SLO columns. Latencies
+// are reported in milliseconds; percentiles interpolate linearly on rank
+// p/100·(n−1) over the sorted per-request samples (regress.Percentile).
+var sloMetrics = []sloMetric{
+	{"ttft_p50_ms", "p50 time-to-first-token (ms)", "%.1f",
+		func(r *sim.Result, ep int) float64 { return r.TTFTPercentile(ep, 50) * 1000 }},
+	{"ttft_p99_ms", "p99 time-to-first-token (ms)", "%.1f",
+		func(r *sim.Result, ep int) float64 { return r.TTFTPercentile(ep, 99) * 1000 }},
+	{"tbt_p50_ms", "p50 max time-between-tokens (ms)", "%.1f",
+		func(r *sim.Result, ep int) float64 { return r.TBTPercentile(ep, 50) * 1000 }},
+	{"tbt_p99_ms", "p99 max time-between-tokens (ms)", "%.1f",
+		func(r *sim.Result, ep int) float64 { return r.TBTPercentile(ep, 99) * 1000 }},
+	{"queue_p99_ms", "p99 queueing delay (ms)", "%.1f",
+		func(r *sim.Result, ep int) float64 { return r.QueueDelayPercentile(ep, 99) * 1000 }},
+	{"slo_attainment_pct", "requests meeting both SLOs (%)", "%.2f",
+		func(r *sim.Result, ep int) float64 { return r.SLOAttainment(ep) * 100 }},
+	{"requests_completed", "completed requests", "%.0f",
+		func(r *sim.Result, ep int) float64 { return float64(r.RequestsCompleted(ep)) }},
+}
+
+// metricByID resolves a report column: the static registry first, then the
+// SLO registry with an optional "@ep<N>" endpoint selector.
 func metricByID(id string) (Metric, bool) {
 	for _, m := range metrics {
 		if m.ID == id {
 			return m, true
 		}
 	}
+	base, ep := id, sim.AllEndpoints
+	if i := strings.Index(id, "@ep"); i >= 0 {
+		n, err := strconv.Atoi(id[i+len("@ep"):])
+		if err != nil || n < 0 {
+			return Metric{}, false
+		}
+		base, ep = id[:i], n
+	}
+	for _, m := range sloMetrics {
+		if m.ID != base {
+			continue
+		}
+		desc := m.Desc
+		if ep != sim.AllEndpoints {
+			desc = fmt.Sprintf("%s, endpoint %d", m.Desc, ep)
+		}
+		eval := m.Eval
+		return Metric{ID: id, Desc: desc, Fmt: m.Fmt,
+			Eval: func(r *sim.Result, _ Prov) float64 { return eval(r, ep) }}, true
+	}
 	return Metric{}, false
 }
 
-// MetricIDs lists every report metric in registry order.
+// MetricIDs lists every report metric in registry order: the static columns,
+// then the request-level SLO columns in their aggregate form (each also
+// accepts an "@ep<N>" endpoint suffix).
 func MetricIDs() []string {
-	out := make([]string, len(metrics))
-	for i, m := range metrics {
-		out[i] = m.ID
+	out := make([]string, 0, len(metrics)+len(sloMetrics))
+	for _, m := range metrics {
+		out = append(out, m.ID)
+	}
+	for _, m := range sloMetrics {
+		out = append(out, m.ID)
 	}
 	return out
 }

@@ -1,15 +1,3 @@
-// Package scenario implements declarative simulation scenarios: a JSON spec
-// format describing one simulation setup (layout scale and GPU mix, workload
-// mix, weather, oversubscription, emergency schedule, policy set) plus sweep
-// axes that expand the spec into a campaign grid. The campaign runner
-// compiles each unique scenario once (sim.Compile) and fans the runs out
-// across a bounded worker pool (experiments.RunParallel), emitting
-// deterministic text/CSV/JSON reports.
-//
-// Specs make every "what-if" campaign of the paper's evaluation — and many
-// the hard-coded experiment runners cannot express (heterogeneous A100+H100
-// fleets, weather sweeps, rolling emergencies) — a committed file instead of
-// a new runner. See examples/scenarios/.
 package scenario
 
 import (
@@ -91,6 +79,17 @@ type LayoutSpec struct {
 // are reshaped by their generation fields — and unlocks the transform.*
 // sweep axes, so one pinned trace can drive a demand-scalability campaign.
 // Relative splice paths resolve against the spec file's directory.
+//
+// Requests names a request-level replay log (CSV recorded by tapas-trace
+// -export-requests / -import-azure -requests-out): with it set, SaaS
+// endpoints stop consuming the trace's binned token rates and instead run
+// continuous-batching queues fed by the log's individual arrivals, which
+// unlocks the per-request SLO metrics (ttft_*, tbt_*, queue_*,
+// slo_attainment_pct) as report columns. Requests requires Trace — the
+// recorded workload still provides the endpoint set and VM population the
+// requests are served on — and relative paths resolve against the spec file's
+// directory. The Transforms chain applies to both views of the workload
+// (time_warp and demand_scale reshape the request log consistently).
 type WorkloadSpec struct {
 	SaaSFraction *float64        `json:"saas_fraction,omitempty"`
 	Endpoints    *int            `json:"endpoints,omitempty"`
@@ -98,6 +97,7 @@ type WorkloadSpec struct {
 	DemandScale  *float64        `json:"demand_scale,omitempty"`
 	Seed         *uint64         `json:"seed,omitempty"`
 	Trace        string          `json:"trace,omitempty"`
+	Requests     string          `json:"requests,omitempty"`
 	Transforms   json.RawMessage `json:"transforms,omitempty"`
 }
 
@@ -390,6 +390,12 @@ func (s *Spec) Validate() error {
 	if len(s.Workload.Transforms) > 0 && s.Workload.Trace == "" {
 		return fail("workload.transforms requires workload.trace; transforms apply to recorded traces (synthetic workloads are shaped by the workload.* fields)")
 	}
+	// A request log replays individual arrivals against the recorded
+	// workload's endpoint set and VM population; without the trace there is
+	// nothing to serve them on.
+	if s.Workload.Requests != "" && s.Workload.Trace == "" {
+		return fail("workload.requests requires workload.trace; the recorded workload provides the endpoint set the request log is served on")
+	}
 	chain, err := s.transformChain()
 	if err != nil {
 		return fail("workload.transforms: %v", err)
@@ -659,6 +665,21 @@ func (s *Spec) baseScenario(scale float64) (sim.Scenario, error) {
 			return sim.Scenario{}, fmt.Errorf("loading workload.transforms: %w", err)
 		}
 		sc.TraceTransforms = chain
+
+		// Request-level replay: the log is loaded once and shared read-only
+		// across the grid like the trace; sim.Compile transforms and
+		// validates it against the workload.
+		if s.Workload.Requests != "" {
+			rpath := s.Workload.Requests
+			if !filepath.IsAbs(rpath) && s.dir != "" {
+				rpath = filepath.Join(s.dir, rpath)
+			}
+			reqs, err := trace.LoadRequestsCSV(rpath)
+			if err != nil {
+				return sim.Scenario{}, fmt.Errorf("loading workload.requests: %w", err)
+			}
+			sc.Requests = reqs
+		}
 	}
 	return sc, nil
 }

@@ -1,11 +1,3 @@
-// Package serve turns the campaign library into a long-running service: a
-// Scheduler that admits declarative scenario specs onto the existing
-// parallel run pool with bounded queueing, streams per-campaign progress as
-// an ordered event log, and serves every compilation through a shared
-// content-addressed sim.CompileCache — so repeated what-ifs from many users
-// skip sim.Compile entirely. The HTTP layer (Server) exposes the scheduler
-// as a JSON API; cmd/tapas-campaign drives the same scheduler directly, so
-// the CLI and the daemon cannot diverge.
 package serve
 
 import (

@@ -38,6 +38,11 @@ type CompiledScenario struct {
 	Profile  *llm.Profile
 	Coeffs   *thermal.Coeffs
 
+	// requests is the transformed, validated request log of request-level
+	// replay scenarios (Scenario.Requests after the transform chain); nil in
+	// binned mode. Shared read-only across runs like every other artifact.
+	requests []llm.Request
+
 	// Per-generation artifacts for heterogeneous fleets, dense-indexed by
 	// layout.GPUModel. profileBy[base model] aliases Profile; absent models
 	// hold zero values. srvModel is the per-server generation index used by
@@ -143,9 +148,11 @@ type layoutArtifacts struct {
 
 // workloadArtifacts groups every compiled artifact derived solely from the
 // materialized workload: the trace itself, the seeded "previous week"
-// history, and the shared-phase index for un-warped IaaS load patterns.
+// history, the shared-phase index for un-warped IaaS load patterns, and the
+// transformed request log of request-level replay scenarios.
 type workloadArtifacts struct {
 	w            *trace.Workload
+	requests     []llm.Request
 	customerPeak map[int]float64
 	endpointPeak map[int]float64
 	vmPhase      []int32
@@ -242,6 +249,10 @@ func buildWorkloadArtifacts(sc Scenario, servers int) (*workloadArtifacts, error
 		return nil, err
 	}
 	wa := &workloadArtifacts{w: w}
+	wa.requests, err = requestsFor(sc, w)
+	if err != nil {
+		return nil, err
+	}
 	wa.vmPhase = make([]int32, len(w.VMs))
 	phaseIdx := make(map[float64]int32)
 	for i, vm := range w.VMs {
@@ -279,6 +290,7 @@ func assemble(sc Scenario, la *layoutArtifacts, wa *workloadArtifacts, outside *
 		compiledFrom:  sc,
 		DC:            la.dc,
 		Workload:      wa.w,
+		requests:      wa.requests,
 		Outside:       outside,
 		Profile:       la.profile,
 		Coeffs:        la.coeffs,
@@ -325,6 +337,39 @@ func workloadFor(sc Scenario, servers int) (*trace.Workload, error) {
 	return w, nil
 }
 
+// requestsFor materializes the request log a request-level replay scenario
+// admits: the scenario's log transformed by its chain (time_warp rescales
+// arrivals, demand_scale thins or replicates — the ops that reshape endpoint
+// sets are rejected, see transform.Chain.ApplyRequests), then validated
+// against the workload the engine will serve it with: arrivals sorted (the
+// engine admits through a monotone cursor), token counts non-negative, and
+// every endpoint reference within the workload's endpoint set (queues are
+// indexed positionally).
+func requestsFor(sc Scenario, w *trace.Workload) ([]llm.Request, error) {
+	if len(sc.Requests) == 0 {
+		return nil, nil
+	}
+	reqs, err := sc.TraceTransforms.ApplyRequests(sc.Requests)
+	if err != nil {
+		return nil, fmt.Errorf("sim: applying transforms to the request log: %w", err)
+	}
+	var prev time.Duration
+	for i := range reqs {
+		rq := &reqs[i]
+		if rq.Endpoint < 0 || rq.Endpoint >= len(w.Endpoints) {
+			return nil, fmt.Errorf("sim: request log invalid: request %d targets endpoint %d, but the workload has %d endpoints", rq.ID, rq.Endpoint, len(w.Endpoints))
+		}
+		if rq.PromptTokens < 0 || rq.OutputTokens < 0 {
+			return nil, fmt.Errorf("sim: request log invalid: request %d has negative token counts", rq.ID)
+		}
+		if rq.Arrival < prev {
+			return nil, fmt.Errorf("sim: request log invalid: request %d arrives at %v, before the previous request's %v; the log must be sorted by arrival", rq.ID, rq.Arrival, prev)
+		}
+		prev = rq.Arrival
+	}
+	return reqs, nil
+}
+
 // validateReplay checks that a recorded (and possibly transformed) workload
 // fits the scenario it is replayed under, so a stale trace fails loudly
 // instead of silently simulating a different cluster. The structural checks
@@ -365,7 +410,7 @@ func GenerateWorkload(sc Scenario) (*trace.Workload, error) {
 // mutate applied to the scenario. Only runtime-only fields may be changed:
 // Tick, Failures, RecordRowSeries, Observer, Shards (and shortening Duration).
 // Changing compile-relevant fields (Layout, Workload, Trace, TraceTransforms,
-// Region, StartOffset, Oversubscribe, lengthening Duration) requires a fresh
+// Requests, Region, StartOffset, Oversubscribe, lengthening Duration) requires a fresh
 // Compile; Run rejects such variants rather than simulate against stale
 // artifacts.
 func (cs *CompiledScenario) Variant(mutate func(*Scenario)) *CompiledScenario {
@@ -388,6 +433,7 @@ func (cs *CompiledScenario) ForScenario(sc Scenario) *CompiledScenario {
 	cp := *cs
 	sc.Trace = cs.compiledFrom.Trace
 	sc.TraceTransforms = cs.compiledFrom.TraceTransforms
+	sc.Requests = cs.compiledFrom.Requests
 	sc.Workload.Servers = cs.compiledFrom.Workload.Servers
 	cp.Scenario = sc
 	return &cp
@@ -406,6 +452,8 @@ func (cs *CompiledScenario) checkRuntimeOnly() error {
 		return fmt.Errorf("sim: variant changed Trace; recompile the scenario")
 	case !cur.TraceTransforms.Equal(base.TraceTransforms):
 		return fmt.Errorf("sim: variant changed TraceTransforms; recompile the scenario")
+	case !sameRequests(cur.Requests, base.Requests):
+		return fmt.Errorf("sim: variant changed Requests; recompile the scenario")
 	case cur.Region != base.Region:
 		return fmt.Errorf("sim: variant changed Region; recompile the scenario")
 	case cur.StartOffset != base.StartOffset:
@@ -416,6 +464,17 @@ func (cs *CompiledScenario) checkRuntimeOnly() error {
 		return fmt.Errorf("sim: variant lengthened Duration beyond the compiled weather/workload window (%v > %v); recompile the scenario", cur.Duration, base.Duration)
 	}
 	return nil
+}
+
+// sameRequests reports whether two request logs are the same slice (length
+// plus backing-array identity). ForScenario normalizes a content-equal
+// scenario's log to the compiled one's, mirroring the pointer-swap semantics
+// of the Trace check.
+func sameRequests(a, b []llm.Request) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
 }
 
 // Run executes one simulation of the compiled scenario under a policy. Safe

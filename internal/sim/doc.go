@@ -1,0 +1,42 @@
+// Package sim is the discrete-time datacenter simulator: it replays the
+// workload trace against the layout/thermal/power physics, invokes a
+// scheduling Policy at each decision point (VM placement, request routing,
+// instance configuration, power capping), applies hardware thermal
+// throttling and power capping, injects cooling/power failures, and records
+// the metrics behind the paper's evaluation figures.
+//
+// # Simulation modes
+//
+// The engine runs one of two SaaS demand models, selected by the compiled
+// scenario:
+//
+//   - Binned (the default): each endpoint's recorded or generated token
+//     demand is routed per tick as fluid prefill/decode backlog
+//     (Policy.Route → Instance.EnqueueBulk), and service quality is
+//     aggregate (served/demanded tokens, analytic SLO violation fractions).
+//   - Request-level replay (Scenario.Requests non-empty): each SaaS instance
+//     runs a continuous-batching queue (llm.RequestQueue) fed by the log's
+//     individual arrivals. Requests are admitted once their arrival falls
+//     inside a completed tick, routed per request (RequestRouter, or the
+//     engine's least-queued-work default), and every completion yields exact
+//     TTFT, max time-between-tokens, and queueing-delay samples plus SLO
+//     attainment, recorded per endpoint on the Result.
+//
+// # Compilation and caching
+//
+// Compile splits scenario construction into immutable artifacts (layout,
+// workload, weather, request log) shared read-only across runs; CompileCache
+// memoizes them under content-hash keys (ScenarioKey), so campaign grids and
+// repeated what-ifs skip redundant work. Runtime-only fields (Tick,
+// Failures, RecordRowSeries, Observer, Shards) stay out of the key and are
+// adjustable per run via CompiledScenario.Variant.
+//
+// # Determinism
+//
+// Every run is a pure function of its scenario: seeded RNG streams drive
+// workload generation and noise, the sharded tick kernel fixes both the
+// shard partition (contiguous server-ID chunks) and the reduction order
+// (ascending server ID) independent of shard count, and request completions
+// are harvested in ascending VM-ID order at departure and end of run.
+// Reports are therefore byte-identical at any -parallel / -shards setting.
+package sim

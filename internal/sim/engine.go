@@ -75,6 +75,14 @@ type runner struct {
 	nextVM        int
 	res           *Result
 
+	// Request-level replay state (Scenario.Requests): the monotone admission
+	// cursor into the compiled request log, the optional per-request router
+	// the policy implements, and per-endpoint token scratch feeding the
+	// demand observations the configurator sizes against.
+	reqCursor   int
+	reqRouter   RequestRouter
+	epReqTokens []float64
+
 	// Per-tick scratch for the fleet sweep: cap-recovery eligibility depends
 	// only on the row/aisle, so it is evaluated once per row/aisle instead
 	// of once per server.
@@ -217,6 +225,11 @@ func (r *runner) run() (*Result, error) {
 	for i := range r.vmNoise {
 		r.vmNoise[i].Bucket = ^uint64(0)
 	}
+	requestMode := len(r.cs.requests) > 0
+	if requestMode {
+		r.epReqTokens = make([]float64, len(st.Work.Endpoints))
+		r.reqRouter, _ = r.pol.(RequestRouter)
+	}
 
 	for ti := 0; ti < ticks; ti++ {
 		now := time.Duration(ti+1) * r.sc.Tick
@@ -228,7 +241,11 @@ func (r *runner) run() (*Result, error) {
 
 		r.applyFailures(now)
 		r.churnVMs(now)
-		r.routeDemand(wall)
+		if requestMode {
+			r.routeRequests(now)
+		} else {
+			r.routeDemand(wall)
+		}
 		r.pol.Configure(st)
 		r.airflowStep()
 		r.fleetStep(wall)
@@ -331,6 +348,82 @@ func (r *runner) routeDemand(wall time.Duration) {
 		r.res.SaaSDemandTokens += prompt + output
 		r.pol.Route(st, ep, prompt, output)
 	}
+}
+
+// routeRequests is routeDemand in request-level replay mode: it admits every
+// request that arrived by the start of this tick (the log is
+// arrival-sorted, so a monotone cursor suffices) into one instance's
+// continuous-batching queue. Admission at tick start keeps queueing delay
+// and TTFT non-negative: the per-instance queue clocks sit exactly at tick
+// start when routing runs. The policy picks the instance when it implements
+// RequestRouter; otherwise (and whenever it declines) the engine routes to
+// the least-loaded non-reloading instance, ties to the lowest VM ID.
+// Requests targeting an endpoint with no placed instances are dropped, as
+// binned demand for an instance-less endpoint is. Admitted tokens still feed
+// st.ObserveEndpointDemand, so the configurator sees the same per-VM demand
+// signal as in binned mode.
+func (r *runner) routeRequests(now time.Duration) {
+	st := r.st
+	reqs := r.cs.requests
+	tickStart := now - r.sc.Tick
+	// Instances placed since the last tick enter replay mode here, with
+	// their queue clock at tick start — before their first Step.
+	for ep := range st.Work.Endpoints {
+		for _, vm := range st.EndpointInstances(ep) {
+			if in := vm.Instance; in.Queue() == nil {
+				in.AttachQueue(tickStart)
+			}
+		}
+	}
+	for i := range r.epReqTokens {
+		r.epReqTokens[i] = 0
+	}
+	for r.reqCursor < len(reqs) && reqs[r.reqCursor].Arrival <= tickStart {
+		req := reqs[r.reqCursor]
+		r.reqCursor++
+		insts := st.EndpointInstances(req.Endpoint)
+		if len(insts) == 0 {
+			continue
+		}
+		r.epReqTokens[req.Endpoint] += float64(req.TotalTokens())
+		idx, ok := -1, false
+		if r.reqRouter != nil {
+			idx, ok = r.reqRouter.RouteRequest(st, insts, req)
+		}
+		if !ok || idx < 0 || idx >= len(insts) {
+			idx = defaultRequestTarget(insts)
+		}
+		insts[idx].Instance.EnqueueRequest(req)
+	}
+	tickSecs := r.sc.Tick.Seconds()
+	for ep, tokens := range r.epReqTokens {
+		if tokens <= 0 {
+			continue
+		}
+		insts := st.EndpointInstances(ep)
+		st.ObserveEndpointDemand(ep, tokens/tickSecs/float64(len(insts)))
+		r.res.SaaSDemandTokens += tokens
+	}
+}
+
+// defaultRequestTarget picks the instance with the least queued seconds of
+// work, skipping reloading instances when any alternative exists; insts is
+// in ascending VM-ID order, so strict improvement ties to the lowest VM ID.
+func defaultRequestTarget(insts []*cluster.VM) int {
+	best, bestLoad := -1, math.Inf(1)
+	for i, vm := range insts {
+		in := vm.Instance
+		if in.Reloading() {
+			continue
+		}
+		if d := in.DemandSeconds(); d < bestLoad {
+			best, bestLoad = i, d
+		}
+	}
+	if best < 0 {
+		return 0 // every instance is reloading; the oldest absorbs the wait
+	}
+	return best
 }
 
 // airflowStep derives per-server airflow from the previous tick's power
@@ -801,11 +894,16 @@ func (r *runner) idleServer(id int, inletBase float64, aisle int) float64 {
 }
 
 // harvest folds a departing instance's cumulative service counters into the
-// result.
+// result, and in request-level replay mode drains its per-request latency
+// records. Harvest order is deterministic (ascending VM ID, at departure and
+// end of run), so the per-endpoint SLO sample order is too.
 func (r *runner) harvest(vm *cluster.VM) {
 	in := vm.Instance
 	r.res.SaaSServedTokens += in.ServedTokens
 	r.res.SaaSCompletedReqs += in.CompletedRequests
 	r.res.SaaSViolatedReqs += in.SLOViolatedReqs
 	r.res.SaaSQualityWeight += in.QualityWeight
+	for _, c := range in.DrainCompletions() {
+		r.res.AddCompletion(c)
+	}
 }

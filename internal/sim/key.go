@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/trace"
 	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
@@ -24,8 +25,9 @@ type CacheKey [sha256.Size]byte
 func (k CacheKey) String() string { return hex.EncodeToString(k[:]) }
 
 // ScenarioKey hashes the compile-relevant fields of a scenario: layout
-// config, workload spec (or trace content + transform chain), region,
-// duration, start offset, and oversubscription. Runtime-only fields — Tick,
+// config, workload spec (or trace content + transform chain), the
+// request-level replay log when present, region, duration, start offset,
+// and oversubscription. Runtime-only fields — Tick,
 // Failures, RecordRowSeries, Observer, Shards — are excluded, exactly
 // mirroring what CompiledScenario.Variant allows a run to change without
 // recompiling; Workload.Servers is excluded too because Compile overwrites
@@ -154,8 +156,11 @@ func (k *keyHasher) hashRegion(r trace.Region) {
 // generation config (Servers excluded — Compile overwrites it from the
 // layout), or the replayed trace content plus the canonical transform chain
 // (splice overlays hashed by content too — the chain's canonical JSON names
-// only their path).
+// only their path). A request-level replay log (Scenario.Requests) is hashed
+// field by field in both branches: it is workload content the engine serves,
+// so scenarios differing only in their log must never share a key.
 func (k *keyHasher) hashWorkloadSource(sc Scenario, memo *fingerprintMemo) error {
+	defer k.hashRequests(sc.Requests)
 	if sc.Trace == nil {
 		wc := sc.Workload
 		k.str("synthetic")
@@ -190,6 +195,26 @@ func (k *keyHasher) hashWorkloadSource(sc Scenario, memo *fingerprintMemo) error
 		k.bytes('o', ofp[:])
 	}
 	return nil
+}
+
+// hashRequests folds a request-level replay log into the key, one fixed-width
+// record per request. Empty logs (binned mode) contribute nothing, keeping
+// pre-existing keys stable.
+func (k *keyHasher) hashRequests(reqs []llm.Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	k.str("requests")
+	k.i64(int64(len(reqs)))
+	for i := range reqs {
+		rq := &reqs[i]
+		k.i64(rq.ID)
+		k.i64(int64(rq.Customer))
+		k.i64(int64(rq.Endpoint))
+		k.i64(int64(rq.PromptTokens))
+		k.i64(int64(rq.OutputTokens))
+		k.dur(rq.Arrival)
+	}
 }
 
 func floatBits(f float64) uint64 {

@@ -3,6 +3,7 @@ package sim
 import (
 	"time"
 
+	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/regress"
 )
 
@@ -36,6 +37,38 @@ type Result struct {
 	// IaaS impact.
 	IaaSFreqCapSum  float64 // Σ (1 − freqCap) over IaaS server-ticks
 	IaaSServerTicks int
+
+	// Request-level replay SLO accounting, populated only when the scenario
+	// carries a request log (Scenario.Requests). Outer slices are indexed by
+	// endpoint ID and sized on demand; samples are seconds, appended in the
+	// engine's deterministic harvest order (ascending VM ID at departure and
+	// end of run), so reports are byte-identical at any -parallel/-shards
+	// setting. Requests still in flight at the horizon contribute nothing.
+	ReqTTFT       [][]float64 // per endpoint: time to first token
+	ReqTBT        [][]float64 // per endpoint: max time between tokens
+	ReqQueueDelay [][]float64 // per endpoint: arrival → prefill start
+	ReqCompleted  []int       // per endpoint: completed requests
+	ReqViolated   []int       // per endpoint: completions violating an SLO
+}
+
+// AddCompletion folds one drained request-latency record into the
+// per-endpoint SLO accounting. The engine calls it in harvest order.
+func (r *Result) AddCompletion(c llm.Completion) {
+	ep := c.Endpoint
+	for len(r.ReqCompleted) <= ep {
+		r.ReqTTFT = append(r.ReqTTFT, nil)
+		r.ReqTBT = append(r.ReqTBT, nil)
+		r.ReqQueueDelay = append(r.ReqQueueDelay, nil)
+		r.ReqCompleted = append(r.ReqCompleted, 0)
+		r.ReqViolated = append(r.ReqViolated, 0)
+	}
+	r.ReqTTFT[ep] = append(r.ReqTTFT[ep], c.TTFT)
+	r.ReqTBT[ep] = append(r.ReqTBT[ep], c.TBT)
+	r.ReqQueueDelay[ep] = append(r.ReqQueueDelay[ep], c.QueueDelay)
+	r.ReqCompleted[ep]++
+	if c.Violated {
+		r.ReqViolated[ep]++
+	}
 }
 
 // MaxTemp returns the run-wide maximum GPU temperature.
@@ -108,6 +141,98 @@ func (r *Result) IaaSPerfLoss() float64 {
 	}
 	return r.IaaSFreqCapSum / float64(r.IaaSServerTicks)
 }
+
+// AllEndpoints selects the aggregate over every endpoint in the
+// request-level SLO accessors below.
+const AllEndpoints = -1
+
+// reqSamples returns one endpoint's sample slice, or the concatenation over
+// all endpoints for AllEndpoints (endpoint order, so the aggregate is
+// deterministic; percentiles sort anyway).
+func (r *Result) reqSamples(series [][]float64, ep int) []float64 {
+	if ep >= 0 {
+		if ep >= len(series) {
+			return nil
+		}
+		return series[ep]
+	}
+	var all []float64
+	for _, s := range series {
+		all = append(all, s...)
+	}
+	return all
+}
+
+func percentileOrZero(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return regress.Percentile(xs, p)
+}
+
+// TTFTPercentile returns the p-th percentile of time-to-first-token in
+// seconds over an endpoint's completed requests (AllEndpoints aggregates;
+// 0 with no completions). Percentiles interpolate linearly on rank
+// p/100·(n−1) over the sorted samples (regress.Percentile).
+func (r *Result) TTFTPercentile(ep int, p float64) float64 {
+	return percentileOrZero(r.reqSamples(r.ReqTTFT, ep), p)
+}
+
+// TBTPercentile returns the p-th percentile of the per-request maximum
+// time-between-tokens in seconds (AllEndpoints aggregates; 0 with no
+// completions).
+func (r *Result) TBTPercentile(ep int, p float64) float64 {
+	return percentileOrZero(r.reqSamples(r.ReqTBT, ep), p)
+}
+
+// QueueDelayPercentile returns the p-th percentile of queueing delay
+// (arrival to prefill start) in seconds (AllEndpoints aggregates; 0 with no
+// completions).
+func (r *Result) QueueDelayPercentile(ep int, p float64) float64 {
+	return percentileOrZero(r.reqSamples(r.ReqQueueDelay, ep), p)
+}
+
+// SLOAttainment returns the fraction of an endpoint's completed requests
+// that met both latency SLOs: (completed − violated) / completed, over
+// completed requests only (in-flight requests at the horizon are excluded).
+// AllEndpoints aggregates; no completions yields 0.
+func (r *Result) SLOAttainment(ep int) float64 {
+	var done, bad int
+	if ep >= 0 {
+		if ep < len(r.ReqCompleted) {
+			done, bad = r.ReqCompleted[ep], r.ReqViolated[ep]
+		}
+	} else {
+		for i := range r.ReqCompleted {
+			done += r.ReqCompleted[i]
+			bad += r.ReqViolated[i]
+		}
+	}
+	if done == 0 {
+		return 0
+	}
+	return float64(done-bad) / float64(done)
+}
+
+// RequestsCompleted returns the number of completed requests for an endpoint
+// (AllEndpoints aggregates).
+func (r *Result) RequestsCompleted(ep int) int {
+	if ep >= 0 {
+		if ep >= len(r.ReqCompleted) {
+			return 0
+		}
+		return r.ReqCompleted[ep]
+	}
+	total := 0
+	for _, n := range r.ReqCompleted {
+		total += n
+	}
+	return total
+}
+
+// RequestEndpoints returns how many endpoint slots the request-level
+// accounting covers (0 in binned mode).
+func (r *Result) RequestEndpoints() int { return len(r.ReqCompleted) }
 
 func maxOf(xs []float64) float64 {
 	m := 0.0

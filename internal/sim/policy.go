@@ -1,9 +1,3 @@
-// Package sim is the discrete-time datacenter simulator: it replays the
-// workload trace against the layout/thermal/power physics, invokes a
-// scheduling Policy at each decision point (VM placement, request routing,
-// instance configuration, power capping), applies hardware thermal
-// throttling and power capping, injects cooling/power failures, and records
-// the metrics behind the paper's evaluation figures.
 package sim
 
 import (
@@ -11,6 +5,7 @@ import (
 
 	"github.com/tapas-sim/tapas/internal/cluster"
 	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/trace"
 	"github.com/tapas-sim/tapas/internal/trace/transform"
 )
@@ -42,6 +37,18 @@ type Policy interface {
 	// cluster.State.RowOccEpoch and capping calls are observed at the call
 	// site, so an idle server's frequency cap cannot move unobserved.
 	CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM float64)
+}
+
+// RequestRouter is an optional Policy extension consulted per request in
+// request-level replay mode (Scenario.Requests). insts is the target
+// endpoint's placed instances in ascending VM-ID order (never empty); the
+// return value selects one by index. ok=false falls back to the engine's
+// default routing (least queued seconds of work among non-reloading
+// instances, ties to the lowest VM ID). The engine performs the enqueue —
+// implementations only choose. Policies that do not implement the interface
+// always get the default, so binned-mode policies run unchanged.
+type RequestRouter interface {
+	RouteRequest(st *cluster.State, insts []*cluster.VM, req llm.Request) (idx int, ok bool)
 }
 
 // FailureKind enumerates infrastructure emergencies (§5.4).
@@ -91,9 +98,23 @@ type Scenario struct {
 	// changing the chain are rejected, and the chain (including step
 	// contents) must not be mutated after Compile.
 	TraceTransforms transform.Chain
-	Region          trace.Region
-	Duration        time.Duration
-	Tick            time.Duration
+	// Requests, when non-empty, switches SaaS serving into request-level
+	// replay mode: instead of routing binned per-tick token demand, the
+	// engine admits these individual requests by arrival time into
+	// per-instance continuous-batching queues (llm.RequestQueue) and records
+	// per-request TTFT, time-between-tokens and queueing delay. Requests
+	// must be sorted by Arrival (an offset from simulation start) and
+	// reference endpoints of the scenario's workload; requests arriving
+	// after the run's horizon are never admitted, and requests still in
+	// flight at the horizon produce no latency sample. Compile-relevant:
+	// the chain in TraceTransforms is applied to the log at compile time
+	// (time_warp, demand_scale), and the log is part of the scenario's
+	// cache key. Typically loaded from a requests CSV (trace.LoadRequestsCSV,
+	// the `requests` scenario-spec field).
+	Requests []llm.Request
+	Region   trace.Region
+	Duration time.Duration
+	Tick     time.Duration
 	// StartOffset shifts the time-of-day phase of all load and weather
 	// patterns, letting short scenarios run at the diurnal peak. VM
 	// arrivals and lifetimes stay on the simulation clock.

@@ -131,6 +131,23 @@ func fingerprintResult(r *Result) string {
 	fmt.Fprintf(&sb, "saas demand %x served %x completed %x violated %x quality %x\n",
 		r.SaaSDemandTokens, r.SaaSServedTokens, r.SaaSCompletedReqs, r.SaaSViolatedReqs, r.SaaSQualityWeight)
 	fmt.Fprintf(&sb, "iaas capSum %x srvTicks %d\n", r.IaaSFreqCapSum, r.IaaSServerTicks)
+	// Request-level SLO accounting: hash the per-endpoint sample series in
+	// endpoint order (empty in binned mode, where the hashes pin the
+	// zero-sample FNV offset basis).
+	flat := func(series [][]float64) []float64 {
+		var all []float64
+		for _, s := range series {
+			all = append(all, s...)
+		}
+		return all
+	}
+	violated := 0
+	for _, v := range r.ReqViolated {
+		violated += v
+	}
+	fmt.Fprintf(&sb, "req ttft fnv64a %016x tbt %016x queue %016x completed %d violated %d\n",
+		hash(flat(r.ReqTTFT)), hash(flat(r.ReqTBT)), hash(flat(r.ReqQueueDelay)),
+		r.RequestsCompleted(AllEndpoints), violated)
 	return sb.String()
 }
 

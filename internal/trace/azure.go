@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"os"
 	"strconv"
 	"time"
@@ -52,11 +53,22 @@ type AzureImportConfig struct {
 }
 
 // Import limits: a malformed (or adversarial) file cannot make the importer
-// allocate unbounded bin tables.
+// allocate unbounded bin tables or request logs.
 const (
 	azureMaxWindow    = 35 * 24 * time.Hour
 	azureMaxEndpoints = 256
+	azureMaxRequests  = 1 << 22
 )
+
+// azureCustomerCount is the per-endpoint customer population of reconstructed
+// endpoints. The public datasets carry no tenant column, so imported requests
+// draw Zipf-distributed customers from this population — the same affinity
+// skew the synthetic generator produces.
+const azureCustomerCount = 2000
+
+// azureCustomerSalt decorrelates the imported-request customer stream from
+// the per-endpoint generators seeded off the same cfg.Seed.
+const azureCustomerSalt = 0xa27e
 
 // Azure dataset timestamps: "2023-11-16 18:01:51.1627340".
 const azureTimeLayout = "2006-01-02 15:04:05.999999999"
@@ -77,20 +89,36 @@ type azureEndpoint struct {
 // reader streams and validates every row as it arrives; errors carry the
 // 1-based CSV row (the header is row 1) and the trace: prefix.
 func ReadAzureLLMCSV(r io.Reader, cfg AzureImportConfig) (*Workload, error) {
+	w, _, err := readAzureLLMCSV(r, cfg, false)
+	return w, err
+}
+
+// ReadAzureLLMCSVRequests is ReadAzureLLMCSV plus the request log itself:
+// every source row becomes one llm.Request (dense sequential IDs, the dense
+// first-appearance endpoint ID, arrival relative to trace start, and a
+// Zipf-sampled customer — the datasets carry no tenant column). The log pairs
+// with the reconstructed Workload for request-level replay
+// (sim.Scenario.Requests): the workload sizes the fleet, the log drives the
+// per-request queues.
+func ReadAzureLLMCSVRequests(r io.Reader, cfg AzureImportConfig) (*Workload, []llm.Request, error) {
+	return readAzureLLMCSV(r, cfg, true)
+}
+
+func readAzureLLMCSV(r io.Reader, cfg AzureImportConfig, collect bool) (*Workload, []llm.Request, error) {
 	if cfg.Servers <= 0 {
-		return nil, fmt.Errorf("trace: azure import: non-positive server count %d", cfg.Servers)
+		return nil, nil, fmt.Errorf("trace: azure import: non-positive server count %d", cfg.Servers)
 	}
 	if cfg.Occupancy == 0 {
 		cfg.Occupancy = 0.92
 	}
 	if cfg.Occupancy < 0 || cfg.Occupancy > 1 {
-		return nil, fmt.Errorf("trace: azure import: occupancy %v out of (0,1]", cfg.Occupancy)
+		return nil, nil, fmt.Errorf("trace: azure import: occupancy %v out of (0,1]", cfg.Occupancy)
 	}
 	if cfg.Bin == 0 {
 		cfg.Bin = 10 * time.Minute
 	}
 	if cfg.Bin < time.Minute || cfg.Bin > 24*time.Hour {
-		return nil, fmt.Errorf("trace: azure import: bin %v out of [1m, 24h]", cfg.Bin)
+		return nil, nil, fmt.Errorf("trace: azure import: bin %v out of [1m, 24h]", cfg.Bin)
 	}
 
 	cr := csv.NewReader(r)
@@ -98,18 +126,18 @@ func ReadAzureLLMCSV(r io.Reader, cfg AzureImportConfig) (*Workload, error) {
 	const wantCols = 4
 	header, err := cr.Read()
 	if err == io.EOF {
-		return nil, fmt.Errorf("trace: azure CSV is empty")
+		return nil, nil, fmt.Errorf("trace: azure CSV is empty")
 	}
 	if err != nil {
-		return nil, fmt.Errorf("trace: azure CSV row 1: %w", err)
+		return nil, nil, fmt.Errorf("trace: azure CSV row 1: %w", err)
 	}
 	want := [wantCols]string{"timestamp", "endpoint", "prompt_tokens", "output_tokens"}
 	if len(header) != wantCols {
-		return nil, fmt.Errorf("trace: azure CSV row 1: header has %d columns, want %d", len(header), wantCols)
+		return nil, nil, fmt.Errorf("trace: azure CSV row 1: header has %d columns, want %d", len(header), wantCols)
 	}
 	for i, name := range want {
 		if header[i] != name {
-			return nil, fmt.Errorf("trace: azure CSV row 1: column %d is %q, want %q", i+1, header[i], name)
+			return nil, nil, fmt.Errorf("trace: azure CSV row 1: column %d is %q, want %q", i+1, header[i], name)
 		}
 	}
 
@@ -122,6 +150,9 @@ func ReadAzureLLMCSV(r io.Reader, cfg AzureImportConfig) (*Workload, error) {
 		absolute bool
 		epoch    time.Time
 		lastRel  time.Duration = -1
+		// request-log passthrough (collect mode only)
+		reqs    []llm.Request
+		custRNG = rand.New(rand.NewPCG(cfg.Seed, azureCustomerSalt))
 	)
 	for {
 		rec, err := cr.Read()
@@ -130,12 +161,12 @@ func ReadAzureLLMCSV(r io.Reader, cfg AzureImportConfig) (*Workload, error) {
 		}
 		row++
 		if err != nil {
-			return nil, fmt.Errorf("trace: azure CSV row %d: %w", row, err)
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: %w", row, err)
 		}
 
 		rel, isAbs, ts, err := parseAzureTimestamp(rec[0], epoch)
 		if err != nil {
-			return nil, fmt.Errorf("trace: azure CSV row %d: timestamp: %w", row, err)
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: timestamp: %w", row, err)
 		}
 		if !modeSet {
 			modeSet, absolute = true, isAbs
@@ -144,39 +175,39 @@ func ReadAzureLLMCSV(r io.Reader, cfg AzureImportConfig) (*Workload, error) {
 				rel = 0
 			}
 		} else if isAbs != absolute {
-			return nil, fmt.Errorf("trace: azure CSV row %d: timestamp %q mixes absolute and relative-seconds forms within one file", row, rec[0])
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: timestamp %q mixes absolute and relative-seconds forms within one file", row, rec[0])
 		}
 		if rel < 0 {
-			return nil, fmt.Errorf("trace: azure CSV row %d: negative timestamp %q", row, rec[0])
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: negative timestamp %q", row, rec[0])
 		}
 		if rel < lastRel {
-			return nil, fmt.Errorf("trace: azure CSV row %d: timestamp %q before the previous row's (rows must be sorted by timestamp)", row, rec[0])
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: timestamp %q before the previous row's (rows must be sorted by timestamp)", row, rec[0])
 		}
 		if rel > azureMaxWindow {
-			return nil, fmt.Errorf("trace: azure CSV row %d: timestamp %q is %v past trace start, beyond the %v import window", row, rec[0], rel, azureMaxWindow)
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: timestamp %q is %v past trace start, beyond the %v import window", row, rec[0], rel, azureMaxWindow)
 		}
 		lastRel = rel
 
 		name := rec[1]
 		if name == "" {
-			return nil, fmt.Errorf("trace: azure CSV row %d: empty endpoint name", row)
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: empty endpoint name", row)
 		}
 		prompt, err := strconv.Atoi(rec[2])
 		if err != nil {
-			return nil, fmt.Errorf("trace: azure CSV row %d: prompt_tokens: %w", row, err)
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: prompt_tokens: %w", row, err)
 		}
 		output, err := strconv.Atoi(rec[3])
 		if err != nil {
-			return nil, fmt.Errorf("trace: azure CSV row %d: output_tokens: %w", row, err)
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: output_tokens: %w", row, err)
 		}
 		if prompt < 0 || output < 0 {
-			return nil, fmt.Errorf("trace: azure CSV row %d: negative token count (%d, %d)", row, prompt, output)
+			return nil, nil, fmt.Errorf("trace: azure CSV row %d: negative token count (%d, %d)", row, prompt, output)
 		}
 
 		idx, ok := byName[name]
 		if !ok {
 			if len(endpoints) >= azureMaxEndpoints {
-				return nil, fmt.Errorf("trace: azure CSV row %d: more than %d distinct endpoints", row, azureMaxEndpoints)
+				return nil, nil, fmt.Errorf("trace: azure CSV row %d: more than %d distinct endpoints", row, azureMaxEndpoints)
 			}
 			idx = len(endpoints)
 			byName[name] = idx
@@ -191,11 +222,29 @@ func ReadAzureLLMCSV(r io.Reader, cfg AzureImportConfig) (*Workload, error) {
 			ep.binCount = append(ep.binCount, 0)
 		}
 		ep.binCount[bin]++
+
+		if collect {
+			if len(reqs) >= azureMaxRequests {
+				return nil, nil, fmt.Errorf("trace: azure CSV row %d: more than %d requests", row, azureMaxRequests)
+			}
+			reqs = append(reqs, llm.Request{
+				ID:           int64(len(reqs)),
+				Customer:     zipfSample(custRNG, azureCustomerCount),
+				Endpoint:     idx,
+				PromptTokens: prompt,
+				OutputTokens: output,
+				Arrival:      rel,
+			})
+		}
 	}
 	if len(endpoints) == 0 {
-		return nil, fmt.Errorf("trace: azure CSV has no request rows")
+		return nil, nil, fmt.Errorf("trace: azure CSV has no request rows")
 	}
-	return reconstructAzureWorkload(endpoints, lastRel, cfg)
+	w, err := reconstructAzureWorkload(endpoints, lastRel, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, reqs, nil
 }
 
 // parseAzureTimestamp parses one timestamp field: a float number of seconds
@@ -361,4 +410,20 @@ func LoadAzureLLMCSV(path string, cfg AzureImportConfig) (*Workload, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return w, nil
+}
+
+// LoadAzureLLMCSVRequests reads an Azure-style request log from a file and
+// returns both the reconstructed Workload and the per-request replay log
+// (see ReadAzureLLMCSVRequests).
+func LoadAzureLLMCSVRequests(path string, cfg AzureImportConfig) (*Workload, []llm.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	w, reqs, err := ReadAzureLLMCSVRequests(f, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return w, reqs, nil
 }

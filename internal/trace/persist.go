@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strconv"
 	"time"
 
@@ -154,13 +155,13 @@ func validateRequest(r llm.Request, prev time.Duration) error {
 	return nil
 }
 
-// WriteRequestsCSV serializes a request stream (id,customer,prompt,output,
-// arrival_ns) for replay in fine-grained experiments. Requests are validated
-// as they are written — negative counts or out-of-order arrivals would
-// archive a stream the reader (rightly) refuses to load back.
+// WriteRequestsCSV serializes a request stream (id,customer,endpoint,prompt,
+// output,arrival_ns) for request-level replay. Requests are validated as
+// they are written — negative counts or out-of-order arrivals would archive
+// a stream the reader (rightly) refuses to load back.
 func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"id", "customer", "prompt", "output", "arrival_ns"}); err != nil {
+	if err := cw.Write([]string{"id", "customer", "endpoint", "prompt", "output", "arrival_ns"}); err != nil {
 		return fmt.Errorf("trace: writing requests header: %w", err)
 	}
 	var prev time.Duration
@@ -177,6 +178,7 @@ func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
 		rec := []string{
 			strconv.FormatInt(r.ID, 10),
 			strconv.Itoa(r.Customer),
+			strconv.Itoa(r.Endpoint),
 			strconv.Itoa(r.PromptTokens),
 			strconv.Itoa(r.OutputTokens),
 			strconv.FormatInt(int64(r.Arrival), 10),
@@ -196,10 +198,11 @@ func WriteRequestsCSV(w io.Writer, reqs []llm.Request) error {
 // ReadVMsCSV it streams — every row is validated as it arrives (header
 // names, field parses, duplicate IDs, non-negative counts, sorted arrivals)
 // rather than after materializing the slice — and errors carry the 1-based
-// CSV row (the header is row 1).
+// CSV row (the header is row 1). Both the current 6-column layout and the
+// legacy 5-column form without the endpoint column (every request targets
+// endpoint 0) are accepted; the writer always emits 6 columns.
 func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 	cr := csv.NewReader(r)
-	const wantCols = 5
 	header, err := cr.Read()
 	if err == io.EOF {
 		return nil, fmt.Errorf("trace: empty requests CSV")
@@ -207,10 +210,16 @@ func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: requests CSV row 1: %w", err)
 	}
-	if len(header) != wantCols {
-		return nil, fmt.Errorf("trace: requests CSV row 1: header has %d columns, want %d", len(header), wantCols)
+	want := []string{"id", "customer", "endpoint", "prompt", "output", "arrival_ns"}
+	hasEndpoint := true
+	if len(header) == len(want)-1 {
+		// Legacy 5-column stream: no endpoint column.
+		want = []string{"id", "customer", "prompt", "output", "arrival_ns"}
+		hasEndpoint = false
+	} else if len(header) != len(want) {
+		return nil, fmt.Errorf("trace: requests CSV row 1: header has %d columns, want %d (or the legacy %d without endpoint)", len(header), len(want), len(want)-1)
 	}
-	for i, name := range [wantCols]string{"id", "customer", "prompt", "output", "arrival_ns"} {
+	for i, name := range want {
 		if header[i] != name {
 			return nil, fmt.Errorf("trace: requests CSV row 1: column %d is %q, want %q", i+1, header[i], name)
 		}
@@ -239,20 +248,32 @@ func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: requests CSV row %d: customer: %w", row, err)
 		}
-		prompt, err := strconv.Atoi(rec[2])
+		endpoint, col := 0, 2
+		if hasEndpoint {
+			endpoint, err = strconv.Atoi(rec[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: requests CSV row %d: endpoint: %w", row, err)
+			}
+			if endpoint < 0 {
+				return nil, fmt.Errorf("trace: requests CSV row %d: negative endpoint %d", row, endpoint)
+			}
+			col = 3
+		}
+		prompt, err := strconv.Atoi(rec[col])
 		if err != nil {
 			return nil, fmt.Errorf("trace: requests CSV row %d: prompt: %w", row, err)
 		}
-		output, err := strconv.Atoi(rec[3])
+		output, err := strconv.Atoi(rec[col+1])
 		if err != nil {
 			return nil, fmt.Errorf("trace: requests CSV row %d: output: %w", row, err)
 		}
-		arrival, err := strconv.ParseInt(rec[4], 10, 64)
+		arrival, err := strconv.ParseInt(rec[col+2], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: requests CSV row %d: arrival: %w", row, err)
 		}
 		req := llm.Request{
-			ID: id, Customer: customer, PromptTokens: prompt, OutputTokens: output,
+			ID: id, Customer: customer, Endpoint: endpoint,
+			PromptTokens: prompt, OutputTokens: output,
 			Arrival: time.Duration(arrival),
 		}
 		if err := validateRequest(req, prev); err != nil {
@@ -263,4 +284,31 @@ func ReadRequestsCSV(r io.Reader) ([]llm.Request, error) {
 		out = append(out, req)
 	}
 	return out, nil
+}
+
+// SaveRequestsCSV writes a request stream to a file via WriteRequestsCSV.
+func SaveRequestsCSV(path string, reqs []llm.Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := WriteRequestsCSV(f, reqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRequestsCSV reads a request stream from a file via ReadRequestsCSV.
+func LoadRequestsCSV(path string) ([]llm.Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	reqs, err := ReadRequestsCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return reqs, nil
 }

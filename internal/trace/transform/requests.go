@@ -1,0 +1,100 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tapas-sim/tapas/internal/llm"
+	"github.com/tapas-sim/tapas/internal/trace"
+)
+
+// maxRequests caps the request log a transform may produce, mirroring maxVMs:
+// a stacked chain of replicating demand_scale steps fails loudly instead of
+// exhausting memory.
+const maxRequests = 1 << 22
+
+// requestScaleSalt decorrelates request thinning/replication from the VM
+// population thinning of the same demand_scale step.
+const requestScaleSalt = 0x5ca1e2
+
+// ApplyRequests runs the chain over a per-request log, keeping it consistent
+// with the workload the same chain transforms: time_warp rescales arrival
+// times, demand_scale thins or replicates requests by its SaaS factor
+// (keyed on the original request ID, so a factor ≥ 1 keeps every recorded
+// request). The remaining ops reshape structure a flat request log does not
+// carry (endpoint sets, VM populations, overlay traces) and are rejected —
+// replaying them against an unchanged log would silently desynchronize the
+// two views of the same workload. The input is never mutated; IDs are
+// re-densified after any population change.
+func (c Chain) ApplyRequests(reqs []llm.Request) ([]llm.Request, error) {
+	if len(c) == 0 {
+		return reqs, nil
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	out := reqs
+	for i, s := range c {
+		var err error
+		switch st := s.(type) {
+		case *TimeWarp:
+			out, err = st.applyRequests(out)
+		case *DemandScale:
+			out, err = st.applyRequests(out)
+		default:
+			err = fmt.Errorf("op %s does not apply to request logs (supported: time_warp, demand_scale)", s.Op())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("transform: step %d (%s): %w", i+1, s.Op(), err)
+		}
+	}
+	return out, nil
+}
+
+// applyRequests is TimeWarp over a request log: arrivals scale by the factor.
+// Scaling by a positive factor is monotone, so arrivals stay sorted.
+func (t *TimeWarp) applyRequests(reqs []llm.Request) ([]llm.Request, error) {
+	if t.Factor == 1 {
+		return reqs, nil
+	}
+	out := append([]llm.Request(nil), reqs...)
+	for i := range out {
+		out[i].Arrival = scaleDur(out[i].Arrival, t.Factor)
+	}
+	return out, nil
+}
+
+// applyRequests is DemandScale over a request log: each request is kept,
+// thinned, or replicated by the SaaS factor, deterministically keyed on its
+// original ID — the request-level analogue of scaling endpoint request rates.
+// Replicas sit adjacent to their original (same arrival), so order stays
+// sorted; IDs are re-densified afterwards.
+func (d *DemandScale) applyRequests(reqs []llm.Request) ([]llm.Request, error) {
+	_, saas := d.factors()
+	if saas == 1 {
+		return reqs, nil
+	}
+	want := float64(len(reqs)) * math.Max(saas, 1)
+	if want > maxRequests {
+		return nil, fmt.Errorf("saas factor %v over %d requests would exceed the %d-request cap", saas, len(reqs), maxRequests)
+	}
+	whole := math.Floor(saas)
+	frac := saas - whole
+	out := make([]llm.Request, 0, int(math.Ceil(want)))
+	for _, rq := range reqs {
+		copies := int(whole)
+		if frac > 0 && trace.HashUnit(d.Seed^requestScaleSalt, uint64(rq.ID)) < frac {
+			copies++
+		}
+		for j := 0; j < copies; j++ {
+			out = append(out, rq)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("saas factor %v thinned away every request", saas)
+	}
+	for i := range out {
+		out[i].ID = int64(i)
+	}
+	return out, nil
+}

@@ -101,6 +101,7 @@ func (e EndpointSpec) Requests(from, to time.Duration, seed uint64) []llm.Reques
 		out = append(out, llm.Request{
 			ID:           id,
 			Customer:     zipfSample(rng, e.CustomerCount),
+			Endpoint:     e.ID,
 			PromptTokens: clampInt(prompt, 16, 8192),
 			OutputTokens: clampInt(output, 8, 2048),
 			Arrival:      t,

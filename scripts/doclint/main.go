@@ -1,0 +1,168 @@
+// Command doclint enforces the repository's documentation contract, run by
+// the doc-lint CI job:
+//
+//   - every exported symbol of the public API (tapas.go) carries a doc
+//     comment (functions, methods, and each exported type/const/var spec);
+//   - every relative link in README.md and ARCHITECTURE.md resolves to a
+//     file that exists;
+//   - every fenced ```go example block in those documents is gofmt-clean
+//     (full files as-is, statement snippets via a function wrapper).
+//
+// It prints one line per violation and exits non-zero when any were found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	var violations []string
+	violations = append(violations, apiDocViolations("tapas.go")...)
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md"} {
+		violations = append(violations, linkViolations(doc)...)
+		violations = append(violations, goBlockViolations(doc)...)
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("doclint: ok")
+}
+
+// apiDocViolations reports every exported declaration in the given Go file
+// that lacks a doc comment.
+func apiDocViolations(path string) []string {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var out []string
+	missing := func(pos token.Pos, what, name string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment",
+			fset.Position(pos), what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				missing(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						missing(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, name := range s.Names {
+						if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							missing(name.Pos(), d.Tok.String(), name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// linkViolations reports markdown links whose relative targets do not exist
+// on disk. External schemes and pure in-page anchors are skipped.
+func linkViolations(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var out []string
+	for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		target = strings.SplitN(target, "#", 2)[0]
+		rel := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+		if _, err := os.Stat(rel); err != nil {
+			out = append(out, fmt.Sprintf("%s: dead relative link %q", path, m[1]))
+		}
+	}
+	return out
+}
+
+// goBlockViolations reports fenced ```go blocks that are not gofmt-clean.
+// A block is accepted if it formats to itself either as a full file or,
+// for statement snippets, wrapped in a throwaway function (the wrapper's
+// uniform tab indent is stripped before comparing).
+func goBlockViolations(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var out []string
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		start := i + 1
+		j := start
+		for j < len(lines) && strings.TrimSpace(lines[j]) != "```" {
+			j++
+		}
+		if j == len(lines) {
+			out = append(out, fmt.Sprintf("%s:%d: unterminated ```go block", path, i+1))
+			break
+		}
+		block := strings.Join(lines[start:j], "\n") + "\n"
+		if !gofmtClean(block) {
+			out = append(out, fmt.Sprintf("%s:%d: ```go block is not gofmt-clean", path, i+1))
+		}
+		i = j
+	}
+	return out
+}
+
+func gofmtClean(block string) bool {
+	if fm, err := format.Source([]byte(block)); err == nil {
+		return string(fm) == block
+	}
+	wrapped := "package p\n\nfunc _() {\n" + indent(block) + "}\n"
+	fm, err := format.Source([]byte(wrapped))
+	if err != nil {
+		return false
+	}
+	return string(fm) == wrapped
+}
+
+// indent prefixes every non-empty line with one tab, matching what gofmt
+// emits for a function body.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = "\t" + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
