@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/tapas-sim/tapas/internal/llm"
+)
+
+func TestSLONamesAndDiscipline(t *testing.T) {
+	fifo, edf := NewSLO(false), NewSLO(true)
+	if fifo.Name() != "SLO-Admit" || edf.Name() != "SLO-EDF" {
+		t.Errorf("names = %q, %q", fifo.Name(), edf.Name())
+	}
+	if fifo.QueueDiscipline() != llm.FIFO {
+		t.Error("admission variant must keep FIFO queues")
+	}
+	if edf.QueueDiscipline() != llm.EDF {
+		t.Error("EDF variant must select EDF queues")
+	}
+}
+
+func TestSLOTuneDefaults(t *testing.T) {
+	s := NewSLO(false)
+	if s.affinityWeight != affinityDiscount || s.admissionSlack != 1 {
+		t.Fatalf("defaults = %v, %v; want %v, 1", s.affinityWeight, s.admissionSlack, affinityDiscount)
+	}
+	// Zero values (unset scenario knobs) keep the defaults.
+	s.TuneSLO(0, 0)
+	if s.affinityWeight != affinityDiscount || s.admissionSlack != 1 {
+		t.Error("TuneSLO(0, 0) must keep the defaults")
+	}
+	s.TuneSLO(0.25, 1.5)
+	if s.affinityWeight != 0.25 || s.admissionSlack != 1.5 {
+		t.Errorf("tuned = %v, %v; want 0.25, 1.5", s.affinityWeight, s.admissionSlack)
+	}
+	// One-sided tuning leaves the other knob alone.
+	s.TuneSLO(0.75, 0)
+	if s.affinityWeight != 0.75 || s.admissionSlack != 1.5 {
+		t.Errorf("one-sided tune = %v, %v; want 0.75, 1.5", s.affinityWeight, s.admissionSlack)
+	}
+}

@@ -25,7 +25,10 @@ type Instance struct {
 
 	// SpeedFactor scales serving rates to model hardware frequency capping
 	// imposed from outside the instance (thermal throttle, power cap).
-	// 1 (or 0, treated as 1) means full speed.
+	// 1 means full speed. The fluid Step treats a non-positive value as
+	// unset full speed; the request-level queue clamps to [0,1], where 0
+	// stalls the instance entirely (a fully capped instance makes no
+	// progress). NewInstance seeds it to 1.
 	SpeedFactor float64
 
 	// affinity holds recently served customers for KV-cache reuse routing.
@@ -91,6 +94,7 @@ func (in *Instance) ConfigGoodput(p *Profile) (float64, bool) {
 func NewInstance(spec layout.GPUSpec, c Config, w Workload, slos SLOs) *Instance {
 	in := &Instance{
 		Spec: spec, Config: c, Work: w, SLOs: slos,
+		SpeedFactor: 1,
 		outputRatio: w.AvgOutputTokens / w.AvgPromptTokens,
 		affinity:    make(map[int]time.Duration),
 	}

@@ -28,6 +28,21 @@ const (
 	opDecode
 )
 
+// Discipline selects the order startOp admits waiting requests in.
+type Discipline uint8
+
+const (
+	// FIFO admits the oldest waiting request first (arrival order) — the
+	// default, matching EngineSim's iteration-level semantics.
+	FIFO Discipline = iota
+	// EDF admits the waiting request with the earliest latest-allowable
+	// prefill start first: to meet its TTFT deadline (arrival + TTFT SLO),
+	// a request's prefill must begin by deadline − prompt/prefillRate, so
+	// EDF prioritizes the request with the least slack — earlier arrivals
+	// and longer prompts. Ties (equal deadlines) keep arrival order.
+	EDF
+)
+
 // queuedReq is a request tracked through the queue with its latency marks
 // (seconds on the queue's wall clock).
 type queuedReq struct {
@@ -53,7 +68,8 @@ type queuedReq struct {
 // that advances by exactly one tick per Step, so results are independent of
 // how the fleet is sharded across worker goroutines.
 type RequestQueue struct {
-	now float64 // wall clock, seconds since simulation start
+	now  float64 // wall clock, seconds since simulation start
+	disc Discipline
 
 	waiting []*queuedReq
 	active  []*queuedReq
@@ -77,6 +93,14 @@ func (q *RequestQueue) Idle() bool {
 
 // WaitingLen returns the number of requests not yet prefilled.
 func (q *RequestQueue) WaitingLen() int { return len(q.waiting) }
+
+// SetDiscipline selects the scheduling discipline startOp uses to pick the
+// next waiting request. Policies choose it per instance when the engine
+// attaches the queue; changing it mid-run only affects subsequent prefills.
+func (q *RequestQueue) SetDiscipline(d Discipline) { q.disc = d }
+
+// Discipline returns the queue's scheduling discipline.
+func (q *RequestQueue) Discipline() Discipline { return q.disc }
 
 // ActiveLen returns the running decode batch size.
 func (q *RequestQueue) ActiveLen() int { return len(q.active) }
@@ -136,9 +160,22 @@ func (in *Instance) stepQueue(dt time.Duration) {
 		t += in.reloadLeft.Seconds()
 		in.reloadLeft = 0
 	}
+	// SpeedFactor clamps to [0,1]: values above 1 cannot serve faster than
+	// the configuration's rates, and a fully frequency-capped instance
+	// (SpeedFactor 0) makes no progress at all — the tick passes, the wall
+	// clock advances, and every queued request keeps waiting. (The engine
+	// always sets SpeedFactor before Step; NewInstance seeds it to 1 so
+	// directly constructed instances serve at full speed.)
 	sf := in.SpeedFactor
-	if sf <= 0 || sf > 1 {
+	if sf > 1 {
 		sf = 1
+	} else if sf < 0 {
+		sf = 0
+	}
+	if sf == 0 {
+		q.now = tickEnd
+		in.BacklogSecs = in.DemandSeconds()
+		return
 	}
 	var busySecs, prefillSecs float64
 	for t < tickEnd {
@@ -173,18 +210,24 @@ func (in *Instance) stepQueue(dt time.Duration) {
 	in.BacklogSecs = in.DemandSeconds()
 }
 
-// startOp picks the next engine operation, mirroring EngineSim: prefill the
-// oldest waiting request while the batch has room, otherwise run one decode
-// iteration over the whole running batch. Reports false when drained.
+// startOp picks the next engine operation, mirroring EngineSim: prefill a
+// waiting request (discipline order) while the batch has room, otherwise run
+// one decode iteration over the whole running batch. An unprefillable head
+// (prefill rate zero) falls through to decode, so the running batch never
+// starves behind a request that cannot start. Reports false when drained.
 func (q *RequestQueue) startOp(in *Instance, t float64) bool {
-	if len(q.waiting) > 0 && len(q.active) < in.Config.MaxBatch {
-		r := q.waiting[0]
-		pr := in.prefillRate
-		if pr <= 0 {
-			return false
+	if len(q.waiting) > 0 && len(q.active) < in.Config.MaxBatch && in.prefillRate > 0 {
+		if idx := q.pickWaiting(in); idx > 0 {
+			// Rotate the pick to the front, preserving the relative order of
+			// the others; finishOp pops index 0. FIFO picks 0, so the rotate
+			// is a no-op there and the historical order is bit-identical.
+			r := q.waiting[idx]
+			copy(q.waiting[1:idx+1], q.waiting[:idx])
+			q.waiting[0] = r
 		}
+		r := q.waiting[0]
 		q.op = opPrefill
-		q.opUnitLeft = float64(r.req.PromptTokens) / pr
+		q.opUnitLeft = float64(r.req.PromptTokens) / in.prefillRate
 		q.opStart = t
 		r.queueDelay = t - r.req.Arrival.Seconds()
 		return true
@@ -196,6 +239,26 @@ func (q *RequestQueue) startOp(in *Instance, t float64) bool {
 		return true
 	}
 	return false
+}
+
+// pickWaiting selects which waiting request the next prefill admits. FIFO is
+// index 0; EDF scans for the earliest latest-allowable start — deadline
+// (arrival + TTFT SLO) minus the prompt's prefill time — with ties keeping
+// the lowest index, so the scan is deterministic. Callers guarantee
+// in.prefillRate > 0.
+func (q *RequestQueue) pickWaiting(in *Instance) int {
+	if q.disc != EDF || len(q.waiting) < 2 {
+		return 0
+	}
+	slo := in.SLOs.TTFT.Seconds()
+	best, bestStart := 0, 0.0
+	for i, r := range q.waiting {
+		start := r.req.Arrival.Seconds() + slo - float64(r.req.PromptTokens)/in.prefillRate
+		if i == 0 || start < bestStart {
+			best, bestStart = i, start
+		}
+	}
+	return best
 }
 
 // finishOp applies the effects of the completed operation at wall time t.

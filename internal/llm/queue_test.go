@@ -167,6 +167,146 @@ func TestQueueSpeedFactorSlowsServing(t *testing.T) {
 	}
 }
 
+// TestQueueSpeedFactorZeroStalls is the regression test for the SpeedFactor
+// guard: a fully frequency-capped instance (SpeedFactor 0) must make no
+// progress at all — previously the guard silently reset it to full speed.
+// The wall clock still advances, so queueing delay keeps accumulating.
+func TestQueueSpeedFactorZeroStalls(t *testing.T) {
+	in := queueInstance(DefaultConfig())
+	in.SpeedFactor = 0
+	in.EnqueueRequest(Request{ID: 1, PromptTokens: 100, OutputTokens: 5})
+	for i := 0; i < 50; i++ {
+		in.Step(time.Second)
+	}
+	if got := in.DrainCompletions(); len(got) != 0 {
+		t.Fatalf("stalled instance completed %d requests, want 0", len(got))
+	}
+	if in.ServedTokens != 0 {
+		t.Errorf("stalled instance served %v tokens, want 0", in.ServedTokens)
+	}
+	if in.Queue().WaitingLen() != 1 {
+		t.Errorf("waiting %d, want the stalled request still queued", in.Queue().WaitingLen())
+	}
+	// Restore speed: the request completes, and its TTFT covers the stall.
+	in.SpeedFactor = 1
+	for i := 0; i < 100 && len(in.Queue().completions) == 0; i++ {
+		in.Step(time.Second)
+	}
+	comps := in.DrainCompletions()
+	if len(comps) != 1 {
+		t.Fatalf("got %d completions after un-stalling, want 1", len(comps))
+	}
+	if comps[0].TTFT < 50 {
+		t.Errorf("TTFT %v does not cover the 50s stall", comps[0].TTFT)
+	}
+}
+
+// TestQueueSpeedFactorMonotoneTTFT is the property the frequency-capping
+// model relies on: lowering SpeedFactor never lowers any request's recorded
+// TTFT, and SpeedFactor 0 completes nothing at all.
+func TestQueueSpeedFactorMonotoneTTFT(t *testing.T) {
+	reqs := []Request{
+		{ID: 0, PromptTokens: 1500, OutputTokens: 10},
+		{ID: 1, PromptTokens: 700, OutputTokens: 25, Arrival: 3 * time.Second},
+		{ID: 2, PromptTokens: 2400, OutputTokens: 5, Arrival: 7 * time.Second},
+	}
+	run := func(sf float64) []Completion {
+		in := queueInstance(DefaultConfig())
+		in.SpeedFactor = sf
+		for _, r := range reqs {
+			in.EnqueueRequest(r)
+		}
+		var comps []Completion
+		for i := 0; i < 2000 && len(comps) < len(reqs); i++ {
+			in.Step(time.Second)
+			comps = append(comps, in.DrainCompletions()...)
+		}
+		return comps
+	}
+	if got := run(0); len(got) != 0 {
+		t.Fatalf("SpeedFactor 0 completed %d requests, want 0", len(got))
+	}
+	prev := run(1)
+	if len(prev) != len(reqs) {
+		t.Fatalf("full speed completed %d of %d", len(prev), len(reqs))
+	}
+	for _, sf := range []float64{0.8, 0.5, 0.3, 0.1} {
+		cur := run(sf)
+		if len(cur) != len(reqs) {
+			t.Fatalf("sf=%v completed %d of %d", sf, len(cur), len(reqs))
+		}
+		for i := range cur {
+			if cur[i].TTFT < prev[i].TTFT-1e-9 {
+				t.Errorf("sf=%v request %d TTFT %v below faster run's %v", sf, i, cur[i].TTFT, prev[i].TTFT)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestQueueDecodeRunsPastUnprefillableHead is the decode-starvation
+// regression test: with an active decode batch and a head-of-line request
+// that cannot prefill (prefill rate zero), startOp must fall through to
+// decode — previously it returned false and the running batch starved.
+func TestQueueDecodeRunsPastUnprefillableHead(t *testing.T) {
+	in := queueInstance(Config{Model: Llama70B, Quant: FP16, TP: 8, MaxBatch: 1, FreqFrac: 1})
+	// Size the decode phase to span a few seconds so the batch is observably
+	// active between ticks.
+	out := int(2.0/DecodeStepTime(in.Spec, in.Config, 1).Seconds()) + 10
+	in.EnqueueRequest(Request{ID: 1, PromptTokens: 100, OutputTokens: out})
+	// Admit request 1 into the decode batch (MaxBatch 1 keeps request 2 out).
+	for i := 0; i < 100 && in.Queue().ActiveLen() == 0; i++ {
+		in.Step(100 * time.Millisecond)
+	}
+	if in.Queue().ActiveLen() != 1 {
+		t.Fatal("request 1 never entered the decode batch")
+	}
+	in.EnqueueRequest(Request{ID: 2, PromptTokens: 100, OutputTokens: 1})
+	in.prefillRate = 0 // the waiting head can no longer start
+	var comps []Completion
+	for i := 0; i < 100 && len(comps) == 0; i++ {
+		in.Step(time.Second)
+		comps = append(comps, in.DrainCompletions()...)
+	}
+	if len(comps) != 1 || comps[0].Endpoint != 0 {
+		t.Fatalf("active batch starved behind the unprefillable head: %+v", comps)
+	}
+	if in.Queue().WaitingLen() != 1 {
+		t.Errorf("waiting %d, want the unprefillable request still queued", in.Queue().WaitingLen())
+	}
+}
+
+// TestQueueEDFPrefersTightestDeadline pins the EDF discipline: with equal
+// arrivals, the longer prompt has the earlier latest-allowable prefill start
+// (deadline − prompt/prefillRate), so EDF admits it first while FIFO keeps
+// arrival order.
+func TestQueueEDFPrefersTightestDeadline(t *testing.T) {
+	short := Request{ID: 1, PromptTokens: 200, OutputTokens: 0}
+	long := Request{ID: 2, PromptTokens: 4000, OutputTokens: 0}
+	firstDone := func(d Discipline) int {
+		in := queueInstance(Config{Model: Llama70B, Quant: FP16, TP: 8, MaxBatch: 1, FreqFrac: 1})
+		in.Queue().SetDiscipline(d)
+		in.EnqueueRequest(short)
+		in.EnqueueRequest(long)
+		for i := 0; i < 1000; i++ {
+			in.Step(time.Second)
+			if comps := in.DrainCompletions(); len(comps) > 0 {
+				return comps[0].Endpoint
+			}
+		}
+		t.Fatal("no completion")
+		return -1
+	}
+	// Endpoint doubles as a marker: tag the requests by endpoint ID.
+	short.Endpoint, long.Endpoint = 1, 2
+	if got := firstDone(FIFO); got != 1 {
+		t.Errorf("FIFO served endpoint %d first, want the earlier-queued short prompt (1)", got)
+	}
+	if got := firstDone(EDF); got != 2 {
+		t.Errorf("EDF served endpoint %d first, want the tighter-deadline long prompt (2)", got)
+	}
+}
+
 // TestQueueSLOViolationFlag pins the violation check: impossible SLO bounds
 // flag every completion and count it in SLOViolatedReqs.
 func TestQueueSLOViolationFlag(t *testing.T) {

@@ -19,13 +19,19 @@ type Policy struct {
 }
 
 // ParsePolicy maps a spec policy string to a constructor: "baseline",
-// "tapas", or a comma list of TAPAS levers ("place", "route", "config").
+// "tapas", "slo" (deadline-aware admission on top of full TAPAS), "slo-edf"
+// (admission plus earliest-deadline-first queues), or a comma list of TAPAS
+// levers ("place", "route", "config").
 func ParsePolicy(s string) (Policy, error) {
 	var opts core.Options
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "baseline":
 	case "tapas":
 		opts = core.Options{Place: true, Route: true, Config: true}
+	case "slo":
+		return Policy{Name: core.NewSLO(false).Name(), New: func() sim.Policy { return core.NewSLO(false) }}, nil
+	case "slo-edf":
+		return Policy{Name: core.NewSLO(true).Name(), New: func() sim.Policy { return core.NewSLO(true) }}, nil
 	default:
 		for _, part := range strings.Split(s, ",") {
 			switch strings.ToLower(strings.TrimSpace(part)) {
@@ -36,7 +42,7 @@ func ParsePolicy(s string) (Policy, error) {
 			case "config":
 				opts.Config = true
 			default:
-				return Policy{}, fmt.Errorf("unknown policy %q (want baseline, tapas, or a comma list of place/route/config)", s)
+				return Policy{}, fmt.Errorf("unknown policy %q (want baseline, tapas, slo, slo-edf, or a comma list of place/route/config)", s)
 			}
 		}
 	}

@@ -72,7 +72,7 @@ func TestFig20SpecMatchesExperimentGolden(t *testing.T) {
 // the hard-coded runners cannot express) byte-for-byte, so spec files and
 // report rendering cannot rot silently.
 func TestCampaignGoldenReports(t *testing.T) {
-	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies", "replay-pinned", "replay-scaled", "slo-replay"} {
+	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies", "replay-pinned", "replay-scaled", "slo-replay", "slo-policies"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			got := runCampaign(t, loadExample(t, name+".json"), 0)
@@ -105,7 +105,9 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	// replay-scaled additionally pushes every grid point through the
 	// replay-time transform chain (same chain + seed ⇒ byte-identical
 	// output at any worker count).
-	for _, name := range []string{"heatwave-sweep", "replay-pinned", "replay-scaled", "slo-replay"} {
+	// slo-policies adds admission shedding and EDF queues on top; shedding
+	// decisions must be deterministic across the pool too.
+	for _, name := range []string{"heatwave-sweep", "replay-pinned", "replay-scaled", "slo-replay", "slo-policies"} {
 		s := loadExample(t, name+".json")
 		seq := runCampaign(t, s, 1)
 		par := runCampaign(t, s, 8)
@@ -118,15 +120,19 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 // TestSLOReplayReportShardInvariant pins the request-level SLO report across
 // the throughput knobs: any intra-run shard count, stacked on any worker-pool
 // size, must reproduce the serial single-worker report byte for byte —
-// per-request TTFT/TBT percentiles and attainment columns included.
+// per-request TTFT/TBT percentiles, attainment and shed columns included.
+// slo-policies additionally covers admission shedding and EDF queue order
+// under sharding.
 func TestSLOReplayReportShardInvariant(t *testing.T) {
-	base := runCampaign(t, loadExample(t, "slo-replay.json"), 1)
-	for _, shards := range []int{2, 7, -1} {
-		shards := shards
-		s := loadExample(t, "slo-replay.json")
-		s.Shards = &shards
-		if got := runCampaign(t, s, 8); got != base {
-			t.Errorf("shards=%d: report differs from the serial run:\n--- got ---\n%s--- want ---\n%s", shards, got, base)
+	for _, name := range []string{"slo-replay", "slo-policies"} {
+		base := runCampaign(t, loadExample(t, name+".json"), 1)
+		for _, shards := range []int{2, 7, -1} {
+			shards := shards
+			s := loadExample(t, name+".json")
+			s.Shards = &shards
+			if got := runCampaign(t, s, 8); got != base {
+				t.Errorf("%s shards=%d: report differs from the serial run:\n--- got ---\n%s--- want ---\n%s", name, shards, got, base)
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -90,6 +91,21 @@ var sloMetrics = []sloMetric{
 		func(r *sim.Result, ep int) float64 { return r.SLOAttainment(ep) * 100 }},
 	{"requests_completed", "completed requests", "%.0f",
 		func(r *sim.Result, ep int) float64 { return float64(r.RequestsCompleted(ep)) }},
+	{"requests_admitted", "requests routed to an instance", "%.0f",
+		func(r *sim.Result, ep int) float64 { return float64(r.RequestsAdmitted(ep)) }},
+	{"requests_shed", "requests rejected at admission", "%.0f",
+		func(r *sim.Result, ep int) float64 { return float64(r.RequestsShed(ep)) }},
+}
+
+// formatMetric renders one metric value for text reports. NaN means "no
+// data" — e.g. SLO attainment over zero completions — and renders as a
+// blank cell, so an endpoint that completed nothing is distinguishable from
+// one at 0%.
+func formatMetric(format string, v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return fmt.Sprintf(format, v)
 }
 
 // metricByID resolves a report column: the static registry first, then the
@@ -206,7 +222,7 @@ func (out *Result) writeGrid(sb *strings.Builder) {
 		for xi := range out.Campaign.Points {
 			cells := make([]string, len(ms))
 			for mi, m := range ms {
-				cells[mi] = fmt.Sprintf(m.Fmt, m.Eval(out.Runs[pi][xi], out.Prov[xi]))
+				cells[mi] = formatMetric(m.Fmt, m.Eval(out.Runs[pi][xi], out.Prov[xi]))
 			}
 			line += "  " + strings.Join(cells, "/")
 		}
@@ -234,7 +250,7 @@ func (out *Result) writeTable(sb *strings.Builder) {
 			}
 			line += fmt.Sprintf("%-14s", pol.Name)
 			for _, m := range ms {
-				line += fmt.Sprintf(" %18s", fmt.Sprintf(m.Fmt, m.Eval(out.Runs[pi][xi], out.Prov[xi])))
+				line += fmt.Sprintf(" %18s", formatMetric(m.Fmt, m.Eval(out.Runs[pi][xi], out.Prov[xi])))
 			}
 			fmt.Fprintf(sb, "%s\n", line)
 		}
@@ -262,7 +278,12 @@ func (out *Result) writeCSV(sb *strings.Builder) error {
 			rec = append(rec, pt.Labels...)
 			rec = append(rec, pol.Name)
 			for _, m := range ms {
-				rec = append(rec, strconv.FormatFloat(m.Eval(out.Runs[pi][xi], out.Prov[xi]), 'g', -1, 64))
+				v := m.Eval(out.Runs[pi][xi], out.Prov[xi])
+				if math.IsNaN(v) {
+					rec = append(rec, "") // no data: blank, not "NaN"
+					continue
+				}
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
 			}
 			if err := cw.Write(rec); err != nil {
 				return err
@@ -276,10 +297,12 @@ func (out *Result) writeCSV(sb *strings.Builder) error {
 // writeJSON emits the full structured report (metric maps marshal with
 // sorted keys, so output is deterministic).
 func (out *Result) writeJSON(sb *strings.Builder) error {
+	// Metric values are `any` because JSON cannot encode NaN: "no data"
+	// (e.g. SLO attainment over zero completions) marshals as null.
 	type jsonRun struct {
-		Policy  string             `json:"policy"`
-		Point   []string           `json:"point,omitempty"`
-		Metrics map[string]float64 `json:"metrics"`
+		Policy  string         `json:"policy"`
+		Point   []string       `json:"point,omitempty"`
+		Metrics map[string]any `json:"metrics"`
 	}
 	type jsonPoint struct {
 		Labels     []string `json:"labels,omitempty"`
@@ -313,9 +336,13 @@ func (out *Result) writeJSON(sb *strings.Builder) error {
 	}
 	for pi, pol := range out.Campaign.Policies {
 		for xi, pt := range out.Campaign.Points {
-			vals := make(map[string]float64, len(ms))
+			vals := make(map[string]any, len(ms))
 			for _, m := range ms {
-				vals[m.ID] = m.Eval(out.Runs[pi][xi], out.Prov[xi])
+				if v := m.Eval(out.Runs[pi][xi], out.Prov[xi]); math.IsNaN(v) {
+					vals[m.ID] = nil
+				} else {
+					vals[m.ID] = v
+				}
 			}
 			rep.Runs = append(rep.Runs, jsonRun{Policy: pol.Name, Point: pt.Labels, Metrics: vals})
 		}

@@ -1,0 +1,66 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNoDataCellsRenderBlank pins the "no data" marker end to end: an SLO
+// metric addressed at an endpoint that completes nothing (here an endpoint
+// index past the workload's) evaluates to NaN and must render as a blank
+// text cell, an empty CSV field, and a JSON null — never as "NaN", which
+// would be indistinguishable from 0% attainment and break JSON encoding.
+func TestNoDataCellsRenderBlank(t *testing.T) {
+	load := func() *Spec {
+		s := loadExample(t, "slo-replay.json")
+		s.Report.Metrics = []string{"slo_attainment_pct@ep9", "slo_attainment_pct"}
+		s.Axes = s.Axes[:0] // one grid point is enough
+		return s
+	}
+
+	text := runCampaign(t, load(), 1)
+	if strings.Contains(text, "NaN") {
+		t.Errorf("text report leaks NaN:\n%s", text)
+	}
+	// The single-point table pads the blank no-data column with spaces, so
+	// each policy row splits into one fewer field than the metric count.
+	for _, row := range strings.Split(strings.TrimRight(text, "\n"), "\n")[2:] {
+		if fields := strings.Fields(row); len(fields) != 2 {
+			t.Errorf("row %q has %d fields, want policy + 1 populated metric", row, len(fields))
+		}
+	}
+
+	s := load()
+	s.Report.Format = "csv"
+	csvOut := runCampaign(t, s, 1)
+	if strings.Contains(csvOut, "NaN") {
+		t.Errorf("CSV report leaks NaN:\n%s", csvOut)
+	}
+	rows := strings.Split(strings.TrimRight(csvOut, "\n"), "\n")
+	for _, row := range rows[1:] {
+		fields := strings.Split(row, ",")
+		if got := fields[len(fields)-2]; got != "" {
+			t.Errorf("no-data CSV field = %q, want empty", got)
+		}
+	}
+
+	s = load()
+	s.Report.Format = "json"
+	var rep struct {
+		Runs []struct {
+			Metrics map[string]*float64 `json:"metrics"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(runCampaign(t, s, 1)), &rep); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	for _, run := range rep.Runs {
+		if v, ok := run.Metrics["slo_attainment_pct@ep9"]; !ok || v != nil {
+			t.Errorf("no-data JSON metric = %v, want explicit null", v)
+		}
+		if v := run.Metrics["slo_attainment_pct"]; v == nil {
+			t.Error("populated metric rendered null")
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/sim"
 )
 
 // TestParseAndValidateErrors pins the error surface of the spec loader:
@@ -184,11 +185,60 @@ func TestExpandCartesian(t *testing.T) {
 	}
 }
 
+// TestSLOSchedAxes pins the new sweep axes: both SLO-scheduling knobs apply
+// to the scenario's SLOSched, and out-of-range values are rejected.
+func TestSLOSchedAxes(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"name": "x",
+		"layout": {"preset": "small"},
+		"axes": [
+			{"param": "slo.affinity_weight", "values": [0.25, 1]},
+			{"param": "slo.admission_slack", "values": [0.5, 2]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.baseScenario(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := s.expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(points))
+	}
+	got := points[1].Scenario.SLOSched
+	if got.AffinityWeight != 0.25 || got.AdmissionSlack != 2 {
+		t.Errorf("point 1 SLOSched = %+v, want {0.25 2}", got)
+	}
+	if base.SLOSched != (sim.SLOSched{}) {
+		t.Error("base scenario mutated")
+	}
+	for _, bad := range []string{
+		`{"name":"x","axes":[{"param":"slo.affinity_weight","values":[0]}]}`,
+		`{"name":"x","axes":[{"param":"slo.affinity_weight","values":[1.5]}]}`,
+		`{"name":"x","axes":[{"param":"slo.admission_slack","values":[-1]}]}`,
+	} {
+		s, err := Parse([]byte(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Campaign(0); err == nil {
+			t.Errorf("out-of-range axis accepted: %s", bad)
+		}
+	}
+}
+
 // TestParsePolicy pins the policy name surface.
 func TestParsePolicy(t *testing.T) {
 	for in, want := range map[string]string{
 		"baseline":     "Baseline",
 		"tapas":        "TAPAS",
+		"slo":          "SLO-Admit",
+		"slo-edf":      "SLO-EDF",
 		"place":        "Place",
 		"place,config": "Place+Config",
 		"place, route": "Place+Route",

@@ -73,6 +73,28 @@ var axisSetters = map[string]func(*sim.Scenario, AxisValue) error{
 		sc.Workload.DemandScale = f
 		return nil
 	},
+	"slo.affinity_weight": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("slo.affinity_weight")
+		if err != nil {
+			return err
+		}
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("slo.affinity_weight %v out of (0,1]", f)
+		}
+		sc.SLOSched.AffinityWeight = f
+		return nil
+	},
+	"slo.admission_slack": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("slo.admission_slack")
+		if err != nil {
+			return err
+		}
+		if f <= 0 {
+			return fmt.Errorf("slo.admission_slack %v must be positive", f)
+		}
+		sc.SLOSched.AdmissionSlack = f
+		return nil
+	},
 	"workload.occupancy": func(sc *sim.Scenario, v AxisValue) error {
 		f, err := v.number("workload.occupancy")
 		if err != nil {

@@ -454,6 +454,8 @@ func (cs *CompiledScenario) checkRuntimeOnly() error {
 		return fmt.Errorf("sim: variant changed TraceTransforms; recompile the scenario")
 	case !sameRequests(cur.Requests, base.Requests):
 		return fmt.Errorf("sim: variant changed Requests; recompile the scenario")
+	case cur.SLOSched != base.SLOSched:
+		return fmt.Errorf("sim: variant changed SLOSched; recompile the scenario")
 	case cur.Region != base.Region:
 		return fmt.Errorf("sim: variant changed Region; recompile the scenario")
 	case cur.StartOffset != base.StartOffset:

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/cluster"
+	"github.com/tapas-sim/tapas/internal/llm"
 	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/thermal"
 	"github.com/tapas-sim/tapas/internal/trace"
@@ -76,11 +77,14 @@ type runner struct {
 	res           *Result
 
 	// Request-level replay state (Scenario.Requests): the monotone admission
-	// cursor into the compiled request log, the optional per-request router
-	// the policy implements, and per-endpoint token scratch feeding the
-	// demand observations the configurator sizes against.
+	// cursor into the compiled request log, the optional per-request
+	// router/admitter the policy implements, the queue discipline it selects,
+	// and per-endpoint token scratch feeding the demand observations the
+	// configurator sizes against.
 	reqCursor   int
 	reqRouter   RequestRouter
+	reqAdmitter RequestAdmitter
+	queueDisc   llm.Discipline
 	epReqTokens []float64
 
 	// Per-tick scratch for the fleet sweep: cap-recovery eligibility depends
@@ -229,6 +233,13 @@ func (r *runner) run() (*Result, error) {
 	if requestMode {
 		r.epReqTokens = make([]float64, len(st.Work.Endpoints))
 		r.reqRouter, _ = r.pol.(RequestRouter)
+		r.reqAdmitter, _ = r.pol.(RequestAdmitter)
+		if rs, ok := r.pol.(RequestScheduler); ok {
+			r.queueDisc = rs.QueueDiscipline()
+		}
+	}
+	if tun, ok := r.pol.(SLOTunable); ok {
+		tun.TuneSLO(r.sc.SLOSched.AffinityWeight, r.sc.SLOSched.AdmissionSlack)
 	}
 
 	for ti := 0; ti < ticks; ti++ {
@@ -372,6 +383,7 @@ func (r *runner) routeRequests(now time.Duration) {
 		for _, vm := range st.EndpointInstances(ep) {
 			if in := vm.Instance; in.Queue() == nil {
 				in.AttachQueue(tickStart)
+				in.Queue().SetDiscipline(r.queueDisc)
 			}
 		}
 	}
@@ -385,15 +397,29 @@ func (r *runner) routeRequests(now time.Duration) {
 		if len(insts) == 0 {
 			continue
 		}
+		// Shed requests still count toward the observed demand signal: the
+		// load arrived whether or not the policy accepted it, and the
+		// configurator should size against true pressure.
 		r.epReqTokens[req.Endpoint] += float64(req.TotalTokens())
 		idx, ok := -1, false
-		if r.reqRouter != nil {
+		if r.reqAdmitter != nil {
+			// An admission-controlling policy replaces RouteRequest wholesale:
+			// it both picks the instance and may shed the request outright.
+			var admit bool
+			idx, admit = r.reqAdmitter.AdmitRequest(st, insts, req)
+			if !admit {
+				r.res.AddShed(req.Endpoint)
+				continue
+			}
+			ok = true
+		} else if r.reqRouter != nil {
 			idx, ok = r.reqRouter.RouteRequest(st, insts, req)
 		}
 		if !ok || idx < 0 || idx >= len(insts) {
 			idx = defaultRequestTarget(insts)
 		}
 		insts[idx].Instance.EnqueueRequest(req)
+		r.res.AddAdmitted(req.Endpoint)
 	}
 	tickSecs := r.sc.Tick.Seconds()
 	for ep, tokens := range r.epReqTokens {

@@ -51,7 +51,20 @@ func scenarioKey(sc Scenario, memo *fingerprintMemo) (CacheKey, error) {
 	h.hashRegion(sc.Region)
 	h.dur(sc.Duration)
 	h.dur(sc.StartOffset)
+	h.hashSLOSched(sc.SLOSched)
 	return h.sum(), nil
+}
+
+// hashSLOSched folds the SLO-scheduling parameters into the key. The zero
+// value (policy defaults) contributes nothing, keeping pre-existing keys
+// stable — mirroring hashRequests.
+func (k *keyHasher) hashSLOSched(s SLOSched) {
+	if s == (SLOSched{}) {
+		return
+	}
+	k.str("slosched")
+	k.f64(s.AffinityWeight)
+	k.f64(s.AdmissionSlack)
 }
 
 // layoutKey hashes what buildLayoutArtifacts consumes: the layout config and

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/llm"
@@ -49,19 +50,29 @@ type Result struct {
 	ReqQueueDelay [][]float64 // per endpoint: arrival → prefill start
 	ReqCompleted  []int       // per endpoint: completed requests
 	ReqViolated   []int       // per endpoint: completions violating an SLO
+	ReqAdmitted   []int       // per endpoint: requests routed to an instance
+	ReqShed       []int       // per endpoint: requests rejected at admission
 }
 
-// AddCompletion folds one drained request-latency record into the
-// per-endpoint SLO accounting. The engine calls it in harvest order.
-func (r *Result) AddCompletion(c llm.Completion) {
-	ep := c.Endpoint
+// growEndpoints sizes every per-endpoint slice to cover endpoint ep, so the
+// parallel slices stay index-aligned no matter which accessor grew them.
+func (r *Result) growEndpoints(ep int) {
 	for len(r.ReqCompleted) <= ep {
 		r.ReqTTFT = append(r.ReqTTFT, nil)
 		r.ReqTBT = append(r.ReqTBT, nil)
 		r.ReqQueueDelay = append(r.ReqQueueDelay, nil)
 		r.ReqCompleted = append(r.ReqCompleted, 0)
 		r.ReqViolated = append(r.ReqViolated, 0)
+		r.ReqAdmitted = append(r.ReqAdmitted, 0)
+		r.ReqShed = append(r.ReqShed, 0)
 	}
+}
+
+// AddCompletion folds one drained request-latency record into the
+// per-endpoint SLO accounting. The engine calls it in harvest order.
+func (r *Result) AddCompletion(c llm.Completion) {
+	ep := c.Endpoint
+	r.growEndpoints(ep)
 	r.ReqTTFT[ep] = append(r.ReqTTFT[ep], c.TTFT)
 	r.ReqTBT[ep] = append(r.ReqTBT[ep], c.TBT)
 	r.ReqQueueDelay[ep] = append(r.ReqQueueDelay[ep], c.QueueDelay)
@@ -69,6 +80,20 @@ func (r *Result) AddCompletion(c llm.Completion) {
 	if c.Violated {
 		r.ReqViolated[ep]++
 	}
+}
+
+// AddAdmitted counts one request the router placed on an instance.
+func (r *Result) AddAdmitted(ep int) {
+	r.growEndpoints(ep)
+	r.ReqAdmitted[ep]++
+}
+
+// AddShed counts one request an admission-controlling policy rejected: it
+// was never enqueued, so it appears in no latency series. Admitted + shed
+// sums to the requests that arrived within the horizon.
+func (r *Result) AddShed(ep int) {
+	r.growEndpoints(ep)
+	r.ReqShed[ep]++
 }
 
 // MaxTemp returns the run-wide maximum GPU temperature.
@@ -195,7 +220,9 @@ func (r *Result) QueueDelayPercentile(ep int, p float64) float64 {
 // SLOAttainment returns the fraction of an endpoint's completed requests
 // that met both latency SLOs: (completed − violated) / completed, over
 // completed requests only (in-flight requests at the horizon are excluded).
-// AllEndpoints aggregates; no completions yields 0.
+// AllEndpoints aggregates. No completions yields NaN — "no data", which
+// reports render as a blank cell — so an overloaded endpoint that finished
+// nothing is distinguishable from one at 0% attainment.
 func (r *Result) SLOAttainment(ep int) float64 {
 	var done, bad int
 	if ep >= 0 {
@@ -209,34 +236,51 @@ func (r *Result) SLOAttainment(ep int) float64 {
 		}
 	}
 	if done == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(done-bad) / float64(done)
 }
 
 // RequestsCompleted returns the number of completed requests for an endpoint
 // (AllEndpoints aggregates).
-func (r *Result) RequestsCompleted(ep int) int {
-	if ep >= 0 {
-		if ep >= len(r.ReqCompleted) {
-			return 0
-		}
-		return r.ReqCompleted[ep]
-	}
-	total := 0
-	for _, n := range r.ReqCompleted {
-		total += n
-	}
-	return total
-}
+func (r *Result) RequestsCompleted(ep int) int { return sumCount(r.ReqCompleted, ep) }
+
+// RequestsAdmitted returns the number of requests routed to an instance for
+// an endpoint (AllEndpoints aggregates).
+func (r *Result) RequestsAdmitted(ep int) int { return sumCount(r.ReqAdmitted, ep) }
+
+// RequestsShed returns the number of requests rejected at admission for an
+// endpoint (AllEndpoints aggregates). Always 0 for policies without
+// admission control.
+func (r *Result) RequestsShed(ep int) int { return sumCount(r.ReqShed, ep) }
 
 // RequestEndpoints returns how many endpoint slots the request-level
 // accounting covers (0 in binned mode).
 func (r *Result) RequestEndpoints() int { return len(r.ReqCompleted) }
 
+func sumCount(counts []int, ep int) int {
+	if ep >= 0 {
+		if ep >= len(counts) {
+			return 0
+		}
+		return counts[ep]
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// maxOf returns the maximum of the series, folding from the first element so
+// all-negative series (sub-zero cold-climate temperatures) report their true
+// maximum. Empty series return 0.
 func maxOf(xs []float64) float64 {
-	m := 0.0
-	for _, x := range xs {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
 		if x > m {
 			m = x
 		}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tapas-sim/tapas/internal/llm"
+)
+
+// TestMaxOfNegativeSeries is the regression test for the maxOf fold: a
+// series whose true maximum is negative (sub-zero cold-climate
+// temperatures) must report that maximum, not 0.
+func TestMaxOfNegativeSeries(t *testing.T) {
+	r := &Result{MaxTempC: []float64{-21.5, -3.25, -17}}
+	if got := r.MaxTemp(); got != -3.25 {
+		t.Errorf("MaxTemp of all-negative series = %v, want -3.25", got)
+	}
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{-5}, -5},
+		{[]float64{-2, 4, -7}, 4},
+		{[]float64{3, 1, 2}, 3},
+	}
+	for _, c := range cases {
+		if got := maxOf(c.xs); got != c.want {
+			t.Errorf("maxOf(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+// TestSLOAttainmentNoData pins the "no data" marker: zero completions yield
+// NaN (rendered as a blank report cell), distinct from a genuine 0%
+// attainment, and missing endpoint slots behave the same.
+func TestSLOAttainmentNoData(t *testing.T) {
+	r := &Result{}
+	if got := r.SLOAttainment(AllEndpoints); !math.IsNaN(got) {
+		t.Errorf("attainment with no completions = %v, want NaN", got)
+	}
+	if got := r.SLOAttainment(3); !math.IsNaN(got) {
+		t.Errorf("attainment of an unseen endpoint = %v, want NaN", got)
+	}
+	r.AddCompletion(llm.Completion{Endpoint: 0, Violated: true})
+	if got := r.SLOAttainment(0); got != 0 {
+		t.Errorf("all-violated attainment = %v, want exactly 0", got)
+	}
+	if got := r.SLOAttainment(AllEndpoints); got != 0 {
+		t.Errorf("aggregate all-violated attainment = %v, want exactly 0", got)
+	}
+}
+
+// TestShedAccountingSlices pins the per-endpoint shed/admitted bookkeeping:
+// the parallel slices grow together no matter which accessor grows them,
+// and the aggregate accessors sum across endpoints.
+func TestShedAccountingSlices(t *testing.T) {
+	r := &Result{}
+	r.AddShed(2)
+	r.AddAdmitted(0)
+	r.AddAdmitted(2)
+	r.AddCompletion(llm.Completion{Endpoint: 1})
+	if got := r.RequestEndpoints(); got != 3 {
+		t.Fatalf("endpoint slots = %d, want 3", got)
+	}
+	for _, n := range []int{len(r.ReqShed), len(r.ReqAdmitted), len(r.ReqTTFT), len(r.ReqViolated)} {
+		if n != 3 {
+			t.Fatalf("parallel slice lengths diverged: %d vs 3", n)
+		}
+	}
+	if got := r.RequestsShed(AllEndpoints); got != 1 {
+		t.Errorf("total shed = %d, want 1", got)
+	}
+	if got := r.RequestsAdmitted(AllEndpoints); got != 2 {
+		t.Errorf("total admitted = %d, want 2", got)
+	}
+	if got := r.RequestsShed(2); got != 1 {
+		t.Errorf("endpoint 2 shed = %d, want 1", got)
+	}
+	if got := r.RequestsShed(9); got != 0 {
+		t.Errorf("out-of-range endpoint shed = %d, want 0", got)
+	}
+}

@@ -51,6 +51,49 @@ type RequestRouter interface {
 	RouteRequest(st *cluster.State, insts []*cluster.VM, req llm.Request) (idx int, ok bool)
 }
 
+// RequestAdmitter is an optional Policy extension giving a RequestRouter
+// veto power over admission in request-level replay mode. It is consulted
+// instead of RouteRequest: admit=true places the request on insts[idx]
+// exactly like RouteRequest; admit=false sheds it — the request is never
+// enqueued, counts in Result.ReqShed, and produces no latency sample.
+// Shedding trades completed volume for the latency of what remains, so
+// SLO-attainment columns (computed over completions) must be read next to
+// the requests_shed column.
+type RequestAdmitter interface {
+	AdmitRequest(st *cluster.State, insts []*cluster.VM, req llm.Request) (idx int, admit bool)
+}
+
+// RequestScheduler is an optional Policy extension selecting the scheduling
+// discipline of per-instance request queues (FIFO when not implemented).
+// The engine applies it when it attaches an instance's queue.
+type RequestScheduler interface {
+	QueueDiscipline() llm.Discipline
+}
+
+// SLOTunable is an optional Policy extension for policies whose
+// admission/routing parameters can be swept as campaign axes. The engine
+// calls TuneSLO once per run, before the first tick, with the scenario's
+// SLOSched values; zero values mean "keep the policy's default".
+type SLOTunable interface {
+	TuneSLO(affinityWeight, admissionSlack float64)
+}
+
+// SLOSched parameterizes SLO-aware scheduling policies (core.SLO). The
+// zero value leaves policy defaults untouched. Compile-relevant: both
+// fields enter the scenario cache key (when non-zero) because they change
+// routing decisions and therefore every downstream metric.
+type SLOSched struct {
+	// AffinityWeight is the multiplicative score discount for routing a
+	// request to an instance that recently served the same customer
+	// (KV-cache reuse). 1 disables affinity, smaller values chase reuse
+	// harder. Policy default 0.5, matching TAPAS's fixed discount.
+	AffinityWeight float64
+	// AdmissionSlack scales the TTFT SLO bound used by deadline-aware
+	// admission: a request is shed when its projected TTFT on the best
+	// candidate instance exceeds slack × TTFT SLO. Policy default 1.
+	AdmissionSlack float64
+}
+
 // FailureKind enumerates infrastructure emergencies (§5.4).
 type FailureKind int
 
@@ -112,6 +155,10 @@ type Scenario struct {
 	// cache key. Typically loaded from a requests CSV (trace.LoadRequestsCSV,
 	// the `requests` scenario-spec field).
 	Requests []llm.Request
+	// SLOSched tunes SLO-aware policies (request-level replay mode only);
+	// the zero value keeps policy defaults. Swept via the
+	// slo.affinity_weight and slo.admission_slack campaign axes.
+	SLOSched SLOSched
 	Region   trace.Region
 	Duration time.Duration
 	Tick     time.Duration

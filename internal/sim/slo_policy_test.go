@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/core"
+	"github.com/tapas-sim/tapas/internal/llm"
+	"github.com/tapas-sim/tapas/internal/trace/transform"
+)
+
+// Compile-time checks that the SLO policy family plugs into every optional
+// engine surface it is designed for.
+var (
+	_ Policy           = (*core.SLO)(nil)
+	_ RequestAdmitter  = (*core.SLO)(nil)
+	_ RequestScheduler = (*core.SLO)(nil)
+	_ SLOTunable       = (*core.SLO)(nil)
+	_ RequestRouter    = (*core.SLO)(nil)
+)
+
+// overloadedRequests scales the synthetic log until the small fleet cannot
+// serve everything inside the SLO, so deadline-aware admission has load to
+// shed.
+func overloadedRequests(t *testing.T, factor float64) []llm.Request {
+	t.Helper()
+	chain := transform.Chain{&transform.DemandScale{SaaS: factor}}
+	scaled, err := chain.ApplyRequests(syntheticRequests(400, 2, 7*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scaled
+}
+
+// TestSLOAdmissionAccounting is the shed bookkeeping contract: every routed
+// request is either admitted or shed (admitted + shed = arrived), completions
+// never exceed admissions, and under heavy overload the policy actually
+// sheds.
+func TestSLOAdmissionAccounting(t *testing.T) {
+	reqs := overloadedRequests(t, 8)
+	cs, err := Compile(requestScenario(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cs.Run(core.NewSLO(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := res.RequestsAdmitted(AllEndpoints)
+	shed := res.RequestsShed(AllEndpoints)
+	if admitted+shed != len(reqs) {
+		t.Errorf("admitted %d + shed %d = %d, want every arrived request (%d)",
+			admitted, shed, admitted+shed, len(reqs))
+	}
+	if shed == 0 {
+		t.Error("8x overload shed nothing; admission control inactive")
+	}
+	if done := res.RequestsCompleted(AllEndpoints); done > admitted {
+		t.Errorf("completed %d exceeds admitted %d", done, admitted)
+	}
+	for ep := 0; ep < res.RequestEndpoints(); ep++ {
+		if res.RequestsShed(ep) < 0 || res.RequestsAdmitted(ep) < 0 {
+			t.Fatalf("endpoint %d: negative accounting", ep)
+		}
+	}
+
+	// Policies without admission control shed nothing and admit everything.
+	base, err := cs.Run(core.New(core.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.RequestsShed(AllEndpoints); got != 0 {
+		t.Errorf("baseline shed %d requests, want 0", got)
+	}
+	if got := base.RequestsAdmitted(AllEndpoints); got != len(reqs) {
+		t.Errorf("baseline admitted %d, want all %d", got, len(reqs))
+	}
+}
+
+// TestSLOAdmissionBeatsTAPASUnderOverload is the tentpole claim: at heavy
+// overload, shedding doomed requests keeps the latency of what remains
+// inside the SLO, so the deadline-aware policy's attainment (over
+// completions) beats TAPAS's.
+func TestSLOAdmissionBeatsTAPASUnderOverload(t *testing.T) {
+	cs, err := Compile(requestScenario(overloadedRequests(t, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapas, err := cs.Run(core.NewFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, err := cs.Run(core.NewSLO(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := slo.SLOAttainment(AllEndpoints), tapas.SLOAttainment(AllEndpoints); !(a > b) {
+		t.Errorf("SLO-Admit attainment %.4f does not beat TAPAS %.4f at 8x overload", a, b)
+	}
+}
+
+// TestSLOPoliciesShardsByteIdentical extends the shard-determinism property
+// to admission control and both queue disciplines: shedding decisions, EDF
+// reordering, and the harvest order must be bit-identical at every shard
+// count.
+func TestSLOPoliciesShardsByteIdentical(t *testing.T) {
+	cs, err := Compile(requestScenario(overloadedRequests(t, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []struct {
+		name string
+		new  func() Policy
+	}{
+		{"slo-fifo", func() Policy { return core.NewSLO(false) }},
+		{"slo-edf", func() Policy { return core.NewSLO(true) }},
+	} {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			serial, err := cs.Variant(func(s *Scenario) { s.Shards = 1 }).Run(pol.new())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.RequestsCompleted(AllEndpoints) == 0 {
+				t.Fatal("request mode inactive: no completions to compare")
+			}
+			for _, n := range []int{2, 7, -1} {
+				res, err := cs.Variant(func(s *Scenario) { s.Shards = n }).Run(pol.new())
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				if !reflect.DeepEqual(serial, res) {
+					t.Errorf("shards=%d diverged from the serial engine", n)
+				}
+			}
+		})
+	}
+}
+
+// TestSLOSchedCacheKey pins the keying contract for the new policy
+// parameters: the zero value keys identically to the pre-SLOSched encoding
+// (existing cache entries stay valid), while any non-zero parameter — and
+// each distinct value — changes the key.
+func TestSLOSchedCacheKey(t *testing.T) {
+	reqs := syntheticRequests(50, 2, 5*time.Minute)
+	base := requestScenario(reqs)
+	k0, err := ScenarioKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := requestScenario(reqs)
+	zero.SLOSched = SLOSched{}
+	if k, _ := ScenarioKey(zero); k != k0 {
+		t.Error("zero SLOSched changed the scenario key")
+	}
+	weighted := requestScenario(reqs)
+	weighted.SLOSched = SLOSched{AffinityWeight: 0.25}
+	kw, err := ScenarioKey(weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kw == k0 {
+		t.Error("affinity weight not folded into the scenario key")
+	}
+	slacked := requestScenario(reqs)
+	slacked.SLOSched = SLOSched{AdmissionSlack: 1.5}
+	ks, err := ScenarioKey(slacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks == k0 || ks == kw {
+		t.Error("admission slack not distinguished in the scenario key")
+	}
+}
+
+// TestVariantRejectsSLOSchedChange pins that SLOSched is compile-relevant:
+// a variant changing it must be rejected instead of silently reusing
+// artifacts keyed under other parameters.
+func TestVariantRejectsSLOSchedChange(t *testing.T) {
+	cs, err := Compile(requestScenario(syntheticRequests(50, 2, 5*time.Minute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := cs.Variant(func(s *Scenario) { s.SLOSched.AdmissionSlack = 2 })
+	if _, err := v.Run(core.NewSLO(false)); err == nil {
+		t.Fatal("variant changing SLOSched ran without recompiling")
+	}
+}
+
+// TestSLOTuningChangesBehavior pins the TuneSLO plumbing end to end: a
+// generous admission slack must shed no more than a strict one on the same
+// compiled log.
+func TestSLOTuningChangesBehavior(t *testing.T) {
+	reqs := overloadedRequests(t, 4)
+	shedAt := func(slack float64) int {
+		sc := requestScenario(reqs)
+		sc.SLOSched.AdmissionSlack = slack
+		res, err := Run(sc, core.NewSLO(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RequestsShed(AllEndpoints)
+	}
+	strict, generous := shedAt(0.5), shedAt(100)
+	if strict == 0 {
+		t.Error("slack 0.5 at 4x overload shed nothing")
+	}
+	if generous > strict {
+		t.Errorf("slack 100 shed %d requests, more than slack 0.5's %d", generous, strict)
+	}
+}
