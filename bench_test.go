@@ -177,6 +177,23 @@ func BenchmarkEngineTick(b *testing.B) {
 	}
 }
 
+// BenchmarkPowerGovTick measures the same per-tick cost under the
+// closed-loop power governor: full TAPAS plus a per-endpoint monitor →
+// recommender → tuner pass, with a budget tight enough that the controller
+// actually tunes frequency caps instead of idling at scale 1.
+func BenchmarkPowerGovTick(b *testing.B) {
+	sc := sim.SmallScenario()
+	ticks := b.N
+	sc.Duration = time.Duration(ticks) * time.Minute
+	sc.Workload.Duration = sc.Duration
+	sc.PowerGov = sim.PowerGov{BudgetFrac: 0.55}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := sim.Run(sc, core.NewPowerGov(false)); err != nil {
+		b.Fatal(err)
+	}
+}
+
 func BenchmarkOfflineProfiling(b *testing.B) {
 	dc, err := layout.New(layout.SmallConfig())
 	if err != nil {

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"os"
 
@@ -17,29 +18,45 @@ import (
 )
 
 func main() {
-	var (
-		scale = flag.String("scale", "small", "small | large datacenter")
-		seed  = flag.Uint64("seed", 42, "layout seed")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cfg := layout.SmallConfig()
-	if *scale == "large" {
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code (0 ok, 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tapas-profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale = fs.String("scale", "small", "small | large datacenter")
+		seed  = fs.Uint64("seed", 42, "layout seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg layout.Config
+	switch *scale {
+	case "small":
+		cfg = layout.SmallConfig()
+	case "large":
 		cfg = layout.DefaultConfig()
+	default:
+		fmt.Fprintf(stderr, "tapas-profile: unknown -scale %q (want small or large)\n", *scale)
+		return 2
 	}
 	cfg.Seed = *seed
 	dc, err := layout.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tapas-profile:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tapas-profile:", err)
+		return 1
 	}
 	prof, err := core.BuildProfiles(dc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tapas-profile:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tapas-profile:", err)
+		return 1
 	}
 
-	fmt.Printf("datacenter %s: %d aisles, %d rows, %d servers (%s)\n",
+	fmt.Fprintf(stdout, "datacenter %s: %d aisles, %d rows, %d servers (%s)\n",
 		cfg.Name, len(dc.Aisles), len(dc.Rows), len(dc.Servers), cfg.GPU)
 
 	// Held-out accuracy of the thermal models.
@@ -57,14 +74,14 @@ func main() {
 		gpuPred = append(gpuPred, prof.GPUTemp.Predict(srv.ID, g, inlet, frac))
 		gpuAct = append(gpuAct, thermal.GPUTemp(srv, g, inlet, frac))
 	}
-	fmt.Printf("inlet model:    piecewise surface per server, MAE %.2f °C\n", regress.MAE(inletPred, inletAct))
-	fmt.Printf("GPU temp model: linear per GPU, MAE %.2f °C\n", regress.MAE(gpuPred, gpuAct))
-	fmt.Printf("airflow model:  %.0f CFM idle → %.0f CFM at full load\n", prof.Airflow.IdleCFM, prof.Airflow.MaxCFM)
-	fmt.Printf("power model:    %.0f W idle → %.0f W at full load\n", prof.Power.Predict(0), prof.Power.Predict(1))
+	fmt.Fprintf(stdout, "inlet model:    piecewise surface per server, MAE %.2f °C\n", regress.MAE(inletPred, inletAct))
+	fmt.Fprintf(stdout, "GPU temp model: linear per GPU, MAE %.2f °C\n", regress.MAE(gpuPred, gpuAct))
+	fmt.Fprintf(stdout, "airflow model:  %.0f CFM idle → %.0f CFM at full load\n", prof.Airflow.IdleCFM, prof.Airflow.MaxCFM)
+	fmt.Fprintf(stdout, "power model:    %.0f W idle → %.0f W at full load\n", prof.Power.Predict(0), prof.Power.Predict(1))
 
 	spec := layout.Spec(cfg.GPU)
 	llmProf := llm.BuildProfile(spec, llm.DefaultWorkload())
-	fmt.Printf("\nLLM profile: %d configurations, SLOs TTFT=%v TBT=%v\n",
+	fmt.Fprintf(stdout, "\nLLM profile: %d configurations, SLOs TTFT=%v TBT=%v\n",
 		len(llmProf.Entries), llmProf.SLOs.TTFT.Round(0), llmProf.SLOs.TBT.Round(0))
 	for _, m := range []llm.ModelSize{llm.Llama70B, llm.Llama13B, llm.Llama7B} {
 		frontier := llmProf.ParetoFrontier(m)
@@ -74,7 +91,8 @@ func main() {
 				best = e
 			}
 		}
-		fmt.Printf("  %-4s frontier: %2d points, top goodput %6.0f tok/s at %s (quality %.2f)\n",
+		fmt.Fprintf(stdout, "  %-4s frontier: %2d points, top goodput %6.0f tok/s at %s (quality %.2f)\n",
 			m, len(frontier), best.Goodput, best.Config, best.Quality)
 	}
+	return 0
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string]struct {
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		"unknown flag": {
+			[]string{"-bogus"}, 2, "flag provided but not defined"},
+		"unknown scale": {
+			[]string{"-scale", "medium"}, 2, `unknown -scale "medium"`},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			code := run(tc.args, &out, &errOut)
+			if code != tc.wantCode {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.wantCode, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), tc.wantErr) {
+				t.Errorf("stderr %q does not contain %q", errOut.String(), tc.wantErr)
+			}
+			if out.Len() != 0 {
+				t.Errorf("usage errors must not print a report, got %q", out.String())
+			}
+		})
+	}
+}
+
+// TestRunSmallProfile pins the report surface on the small datacenter: every
+// fitted model line is present, the thermal MAEs parse as sane numbers, and
+// each Llama size gets a frontier line.
+func TestRunSmallProfile(t *testing.T) {
+	cases := map[string]struct {
+		args        []string
+		wantLines   []string
+		wantServers string
+	}{
+		"defaults": {
+			args:        nil,
+			wantServers: "80 servers (A100)",
+		},
+		"explicit small with seed": {
+			args:        []string{"-scale", "small", "-seed", "7"},
+			wantServers: "80 servers (A100)",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out, errOut strings.Builder
+			if code := run(tc.args, &out, &errOut); code != 0 {
+				t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+			}
+			got := out.String()
+			if !strings.Contains(got, tc.wantServers) {
+				t.Errorf("datacenter line missing %q:\n%s", tc.wantServers, got)
+			}
+			for _, want := range []string{
+				"inlet model:",
+				"GPU temp model:",
+				"airflow model:",
+				"power model:",
+				"LLM profile:",
+				"70B  frontier:",
+				"13B  frontier:",
+				"7B   frontier:",
+			} {
+				if !strings.Contains(got, want) {
+					t.Errorf("report missing %q:\n%s", want, got)
+				}
+			}
+			if errOut.Len() != 0 {
+				t.Errorf("successful run wrote to stderr: %q", errOut.String())
+			}
+		})
+	}
+}
+
+// TestRunDeterministicPerSeed pins that the report is a pure function of the
+// flags: the same seed renders byte-identical reports.
+func TestRunDeterministicPerSeed(t *testing.T) {
+	render := func(seed string) string {
+		var out, errOut strings.Builder
+		if code := run([]string{"-seed", seed}, &out, &errOut); code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+		}
+		return out.String()
+	}
+	if a, b := render("42"), render("42"); a != b {
+		t.Error("same seed produced different reports")
+	}
+}

@@ -330,6 +330,14 @@ func (st *State) ProfileFor(server int) *llm.Profile {
 	return st.Profile
 }
 
+// ServerGPUSpec returns a server's published hardware specification (TDP,
+// idle power, clock range) by generation. Published specs are fair game for
+// policies — unlike the per-server thermal heterogeneity, which stays hidden
+// behind profiled sensor data.
+func (st *State) ServerGPUSpec(server int) *layout.GPUSpec {
+	return &st.DC.Servers[server].GPU
+}
+
 // GPUFracs returns the per-GPU power fractions of one server as a subslice
 // of the flat telemetry array.
 func (st *State) GPUFracs(server int) []float64 {

@@ -124,7 +124,7 @@ func (b *Baseline) CapAisle(st *cluster.State, aisle int, demandCFM, limitCFM fl
 // recovery hysteresis releases it afterwards).
 func uniformCap(st *cluster.State, ids []int, draw, limit float64) {
 	factor := power.UniformCapFactor(draw, limit)
-	freqScale := math.Pow(factor, 1/2.5)
+	freqScale := math.Pow(factor, 1/power.DVFSExponent)
 	for _, id := range ids {
 		st.ServerFreqCap[id] = math.Max(minFreqCap, st.ServerFreqCap[id]*freqScale)
 	}

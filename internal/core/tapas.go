@@ -7,6 +7,7 @@ import (
 	"github.com/tapas-sim/tapas/internal/cluster"
 	"github.com/tapas-sim/tapas/internal/layout"
 	"github.com/tapas-sim/tapas/internal/llm"
+	"github.com/tapas-sim/tapas/internal/power"
 	"github.com/tapas-sim/tapas/internal/trace"
 )
 
@@ -31,6 +32,13 @@ type TAPAS struct {
 	migrate       *migrator
 	rowOverRuns   []int // consecutive over-budget ticks per row
 	aisleOverRuns []int
+	// rowUnderRuns/aisleUnderRuns count consecutive under-budget ticks so
+	// the escalation counters above reset after a full recovery window —
+	// without the reset they are monotone within a run, and on week-long
+	// horizons one early sustained violation makes every later isolated
+	// violation skip the configurator's grace tick forever.
+	rowUnderRuns   []int
+	aisleUnderRuns []int
 
 	// Per-tick scratch reused across capping calls (steady-state capping
 	// performs no heap allocations).
@@ -86,6 +94,8 @@ func (t *TAPAS) Init(st *cluster.State) error {
 	t.migrate = newMigrator(prof)
 	t.rowOverRuns = make([]int, len(st.DC.Rows))
 	t.aisleOverRuns = make([]int, len(st.DC.Aisles))
+	t.rowUnderRuns = make([]int, len(st.DC.Rows))
+	t.aisleUnderRuns = make([]int, len(st.DC.Aisles))
 	return nil
 }
 
@@ -172,6 +182,7 @@ func (t *TAPAS) Configure(st *cluster.State) {
 		return
 	}
 	t.config.configure(st)
+	t.decayOverruns(st)
 	const proactive = 0.985
 	for row, draw := range st.RowPowerW {
 		limit := st.Budget.RowLimitW(row) * proactive
@@ -192,6 +203,43 @@ func (t *TAPAS) Configure(st *cluster.State) {
 		}
 		t.capIDs = ids
 		t.selectiveCap(st, ids, (demand-limit)/demand*totalW)
+	}
+}
+
+// overrunRecoveryTicks is the recovery window after which a row/aisle that
+// stayed under budget gets its escalation counter reset: the time a fully
+// capped server needs to recover to uncapped under the engine's ×1.05
+// per-tick release from the 0.3 floor (⌈ln(1/0.3)/ln(1.05)⌉ ≈ 25). A
+// violation inside the window still escalates immediately; only after the
+// caps it caused have fully drained does the next violation get the
+// configurator's grace tick again.
+const overrunRecoveryTicks = 25
+
+// decayOverruns counts consecutive under-budget ticks per row/aisle (on the
+// previous tick's telemetry, like the rest of Configure) and resets the
+// matching escalation counter after a full recovery window, so the
+// consecutive-violation semantics of CapRow/CapAisle hold on long horizons
+// instead of the counters ratcheting monotonically within a run.
+func (t *TAPAS) decayOverruns(st *cluster.State) {
+	for row, draw := range st.RowPowerW {
+		if draw > st.Budget.RowLimitW(row) {
+			t.rowUnderRuns[row] = 0
+			continue
+		}
+		if t.rowUnderRuns[row]++; t.rowUnderRuns[row] >= overrunRecoveryTicks {
+			t.rowOverRuns[row] = 0
+			t.rowUnderRuns[row] = 0
+		}
+	}
+	for a, demand := range st.AisleDemandCFM {
+		if demand > st.AisleLimitCFM(a) {
+			t.aisleUnderRuns[a] = 0
+			continue
+		}
+		if t.aisleUnderRuns[a]++; t.aisleUnderRuns[a] >= overrunRecoveryTicks {
+			t.aisleOverRuns[a] = 0
+			t.aisleUnderRuns[a] = 0
+		}
 	}
 }
 
@@ -278,7 +326,7 @@ func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
 		if factor < 0 {
 			factor = 0
 		}
-		freqScale := math.Pow(math.Max(factor, 0.05), 1/2.5)
+		freqScale := math.Pow(math.Max(factor, 0.05), 1/power.DVFSExponent)
 		for _, id := range iaas {
 			// Compound: frequency only reaches the GPU dynamic share, so
 			// the controller presses until the violation clears.
@@ -306,16 +354,15 @@ func (t *TAPAS) selectiveCap(st *cluster.State, ids []int, shedW float64) {
 		return
 	}
 	factor := math.Max(1-shedW/saasDynW, 0.05)
-	freqScale := math.Pow(factor, 1/2.5)
+	freqScale := math.Pow(factor, 1/power.DVFSExponent)
 	for _, id := range saas {
 		st.ServerFreqCap[id] = math.Max(minFreqCap, st.ServerFreqCap[id]*freqScale)
 	}
 }
 
-// ResetOverruns clears the consecutive-violation counters when a row/aisle
-// returns under budget. The simulator does not call this; runs are short
-// enough that monotone counters with the capRecovery decay suffice — but
-// exposing it keeps long-horizon users correct.
+// ResetOverruns clears every consecutive-violation counter at once. The
+// per-tick decay in Configure (decayOverruns) keeps long runs correct on its
+// own; this remains for embedders that reset a policy between episodes.
 func (t *TAPAS) ResetOverruns() {
 	for i := range t.rowOverRuns {
 		t.rowOverRuns[i] = 0

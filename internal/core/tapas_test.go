@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/tapas-sim/tapas/internal/sim"
+	"github.com/tapas-sim/tapas/internal/trace"
 )
 
 func runSmall(t *testing.T, pol sim.Policy, mutate func(*sim.Scenario)) *sim.Result {
@@ -182,6 +183,68 @@ func TestTAPASFallbackPlacement(t *testing.T) {
 	})
 	if res.PlacementRejects > res.Ticks {
 		t.Errorf("too many placement rejects (%d); fallback not engaging", res.PlacementRejects)
+	}
+}
+
+// TestOverrunCountersRecoverOnLongHorizons is the regression wall for the
+// monotone-escalation bug: the consecutive-violation counters must reset once
+// a row/aisle stays under budget for a full recovery window, so on long
+// horizons an isolated violation long after an early sustained one still gets
+// the configurator's grace tick instead of capping immediately forever.
+func TestOverrunCountersRecoverOnLongHorizons(t *testing.T) {
+	st, _ := newComponentState(t)
+	pol := New(Options{Config: true})
+	if err := pol.Init(st); err != nil {
+		t.Fatal(err)
+	}
+	// One IaaS VM in row 0 gives selective capping a target.
+	vmID := -1
+	for i, vm := range st.VMs {
+		if vm.Spec.Kind == trace.IaaS {
+			vmID = i
+			break
+		}
+	}
+	srv := st.DC.Rows[0].Servers[0].ID
+	if err := st.Place(vmID, srv); err != nil {
+		t.Fatal(err)
+	}
+	st.ServerPowerW[srv] = 5000 // well above idle: cappable dynamic power
+
+	limit := st.Budget.RowLimitW(0)
+	capRow := func() { pol.CapRow(st, 0, limit*1.2, limit) }
+
+	capRow()
+	if st.ServerFreqCap[srv] != 1 {
+		t.Fatal("first violation must get a grace tick")
+	}
+	capRow()
+	if st.ServerFreqCap[srv] >= 1 {
+		t.Fatal("second consecutive violation must cap")
+	}
+
+	// The violation clears: caps recover (the engine's job, simulated here)
+	// and the row sits under budget for a full recovery window of ticks.
+	st.ServerFreqCap[srv] = 1
+	st.RowPowerW[0] = limit * 0.5
+	pol.aisleOverRuns[0] = 5
+	for i := 0; i < overrunRecoveryTicks; i++ {
+		pol.Configure(st)
+	}
+	if pol.rowOverRuns[0] != 0 || pol.aisleOverRuns[0] != 0 {
+		t.Fatalf("counters after recovery window: row %d aisle %d, want 0/0",
+			pol.rowOverRuns[0], pol.aisleOverRuns[0])
+	}
+
+	// A later isolated violation gets the grace tick again — before the fix
+	// the ratcheted counter capped it immediately.
+	capRow()
+	if st.ServerFreqCap[srv] < 1 {
+		t.Fatal("overrun counter did not recover: isolated violation capped without a grace tick")
+	}
+	capRow()
+	if st.ServerFreqCap[srv] >= 1 {
+		t.Fatal("sustained violation must still cap after recovery")
 	}
 }
 

@@ -1,0 +1,129 @@
+package power
+
+import (
+	"math"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+	"github.com/tapas-sim/tapas/internal/units"
+)
+
+// Controller is the closed-loop power-capping controller behind the PowerGov
+// policy: a Climatik-style monitor → action recommender → frequency tuner
+// loop run once per tick per controlled entity (the policy uses one entity
+// per SaaS endpoint).
+//
+// The monitor hands Recommend the entity's observed draw and capacity; the
+// recommender holds a per-entity dynamic-power scale in [MinScale, 1]
+// (1 = uncapped) and corrects it by Gain × the normalized budget error each
+// tick. The stored scale is the integrated control state, and clamping it to
+// the actuator range is the anti-windup: a long, deep violation cannot wind
+// the state below what frequency capping can deliver, so recovery starts the
+// moment the error changes sign instead of first unwinding an unbounded
+// backlog. The tuner (TargetFreqFrac + StepToward) turns the scale into a
+// per-server frequency state through the inverse DVFS physics and walks the
+// live cap toward it gradually — no slam-and-decay.
+type Controller struct {
+	// BudgetFrac is the entity power budget as a fraction of the capacity
+	// the monitor reports (the PowerGov policy reports aggregate server
+	// TDP, so 1 would only cap an entity drawing full TDP).
+	BudgetFrac float64
+	// Gain is the per-tick correction applied to the scale per unit of
+	// normalized budget error, and the tuner's per-tick step fraction
+	// toward the recommended frequency. Values in (0, 1]; higher converges
+	// faster but overshoots more.
+	Gain float64
+
+	scale []float64
+}
+
+// Controller defaults: a budget at 80% of aggregate TDP engages on busy
+// fleets without strangling them, and a 0.35 gain settles within a few ticks
+// while staying well-damped against the engine's ×1.05 cap recovery.
+const (
+	DefaultBudgetFrac = 0.8
+	DefaultGain       = 0.35
+	// MinScale floors the recommended dynamic-power scale; matching the
+	// selective-capping floor keeps the two escalation paths comparable.
+	MinScale = 0.05
+)
+
+// NewController builds a controller with default budget and gain for the
+// given number of entities.
+func NewController(entities int) *Controller {
+	c := &Controller{BudgetFrac: DefaultBudgetFrac, Gain: DefaultGain}
+	c.Reset(entities)
+	return c
+}
+
+// Reset re-sizes the per-entity control state and returns every entity to
+// the uncapped scale.
+func (c *Controller) Reset(entities int) {
+	c.scale = make([]float64, entities)
+	for i := range c.scale {
+		c.scale[i] = 1
+	}
+}
+
+// Tune overrides budget fraction and gain; non-positive values keep the
+// current settings (mirroring core.SLO.TuneSLO's zero-means-default rule).
+func (c *Controller) Tune(budgetFrac, gain float64) {
+	if budgetFrac > 0 {
+		c.BudgetFrac = budgetFrac
+	}
+	if gain > 0 {
+		c.Gain = gain
+	}
+}
+
+// Recommend folds one tick's observation of an entity — its power draw and
+// its capacity (the budget is BudgetFrac × capacityW) — into the control
+// state and returns the recommended dynamic-power scale in [MinScale, 1].
+// Entities with no capacity recommend 1 (nothing to govern).
+func (c *Controller) Recommend(entity int, drawW, capacityW float64) float64 {
+	if entity < 0 || entity >= len(c.scale) || capacityW <= 0 {
+		return 1
+	}
+	budget := c.BudgetFrac * capacityW
+	u := c.scale[entity] + c.Gain*(budget-drawW)/budget
+	// Clamping the stored state is the anti-windup (see type comment).
+	u = units.Clamp(u, MinScale, 1)
+	c.scale[entity] = u
+	return u
+}
+
+// Scale returns an entity's current recommendation without advancing it.
+func (c *Controller) Scale(entity int) float64 {
+	if entity < 0 || entity >= len(c.scale) {
+		return 1
+	}
+	return c.scale[entity]
+}
+
+// TargetFreqFrac inverts the DVFS physics for the tuner: given a GPU's
+// current frequency cap and observed per-GPU draw, return the frequency
+// fraction at which its dynamic power lands on scale × its uncapped dynamic
+// power. It first undoes the current cap (dynamic power scales with
+// freqFrac^DVFSExponent) to recover the uncapped utilization, then asks
+// FreqFracForPower for the frequency meeting the scaled target — so a scale
+// of 1 recommends fully uncapped regardless of the current cap, and the
+// recommendation round-trips through GPUPower. GPUs at or below idle draw
+// recommend 1: frequency cannot shed idle power.
+func TargetFreqFrac(spec *layout.GPUSpec, curCap, perGPUW, scale float64) float64 {
+	dynW := perGPUW - spec.GPUIdleW
+	if dynW <= 0 {
+		return 1
+	}
+	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
+	powCap := math.Pow(units.Clamp(curCap, minFrac, 1), DVFSExponent)
+	dynUncappedW := dynW / powCap
+	util := dynUncappedW / (spec.GPUTDPW - spec.GPUIdleW)
+	return FreqFracForPower(spec, util, spec.GPUIdleW+dynUncappedW*scale)
+}
+
+// StepToward is the gradual tuner: it moves a live frequency cap a gain
+// fraction of the way toward the recommended target, clamped to
+// [floor, 1] — TAPAS slams caps down and lets them decay back; the
+// closed-loop tuner approaches the recommendation from either side.
+func StepToward(cur, target, gain, floor float64) float64 {
+	return units.Clamp(cur+gain*(target-cur), floor, 1)
+}

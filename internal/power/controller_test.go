@@ -1,0 +1,119 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tapas-sim/tapas/internal/layout"
+)
+
+// fakePlant models one entity whose draw follows the recommended scale
+// immediately: draw = baseW + dynW × scale.
+func fakePlant(baseW, dynW, scale float64) float64 { return baseW + dynW*scale }
+
+func TestControllerConvergesOntoBudget(t *testing.T) {
+	c := NewController(1)
+	c.Tune(0.8, 0.35)
+	const baseW, dynW, capacityW = 2000, 4000, 6000
+	budget := 0.8 * capacityW // 4800 W < base+dyn = 6000 W: must cap
+	u := 1.0
+	for i := 0; i < 200; i++ {
+		u = c.Recommend(0, fakePlant(baseW, dynW, u), capacityW)
+	}
+	draw := fakePlant(baseW, dynW, u)
+	if math.Abs(draw-budget) > 0.01*budget {
+		t.Errorf("converged draw %v, want within 1%% of budget %v (scale %v)", draw, budget, u)
+	}
+}
+
+func TestControllerReleasesGradually(t *testing.T) {
+	c := NewController(1)
+	c.Tune(0.8, 0.35)
+	// Drive the entity deep over budget so the scale saturates at the floor.
+	for i := 0; i < 100; i++ {
+		c.Recommend(0, 100000, 1000)
+	}
+	if got := c.Scale(0); got != MinScale {
+		t.Fatalf("saturated scale = %v, want floor %v", got, MinScale)
+	}
+	// Anti-windup: once the violation clears, the scale recovers immediately
+	// and monotonically — no wound-up backlog to unwind first.
+	prev := MinScale
+	steps := 0
+	for c.Scale(0) < 1 && steps < 100 {
+		u := c.Recommend(0, 100, 1000)
+		if u < prev {
+			t.Fatalf("step %d: recovery not monotone (%v < %v)", steps, u, prev)
+		}
+		prev = u
+		steps++
+	}
+	if c.Scale(0) != 1 {
+		t.Errorf("scale did not recover to 1 within 100 ticks (at %v)", c.Scale(0))
+	}
+	if steps < 2 {
+		t.Errorf("recovery took %d ticks, want gradual (> 1)", steps)
+	}
+}
+
+func TestControllerUnderBudgetStaysUncapped(t *testing.T) {
+	c := NewController(2)
+	for i := 0; i < 10; i++ {
+		if u := c.Recommend(1, 500, 1000); u != 1 {
+			t.Fatalf("under-budget recommendation %v, want 1", u)
+		}
+	}
+	// Out-of-range entities and zero capacity are inert.
+	if c.Recommend(5, 1e9, 1000) != 1 || c.Recommend(0, 1e9, 0) != 1 {
+		t.Error("out-of-range entity or zero capacity must recommend 1")
+	}
+}
+
+func TestControllerTuneKeepsDefaultsOnZero(t *testing.T) {
+	c := NewController(1)
+	c.Tune(0, 0)
+	if c.BudgetFrac != DefaultBudgetFrac || c.Gain != DefaultGain {
+		t.Errorf("Tune(0,0) changed settings: %v/%v", c.BudgetFrac, c.Gain)
+	}
+	c.Tune(0.5, 0.9)
+	if c.BudgetFrac != 0.5 || c.Gain != 0.9 {
+		t.Errorf("Tune(0.5,0.9) not applied: %v/%v", c.BudgetFrac, c.Gain)
+	}
+}
+
+func TestTargetFreqFracInvertsThroughPhysics(t *testing.T) {
+	spec := layout.Spec(layout.H100)
+	const util = 0.7
+	for _, curCap := range []float64{1, 0.9, 0.6} {
+		perGPUW := GPUPower(&spec, util, curCap)
+		// scale 1 always recommends fully uncapped, whatever the current cap.
+		if got := TargetFreqFrac(&spec, curCap, perGPUW, 1); got != 1 {
+			t.Errorf("cap %v scale 1: target %v, want 1", curCap, got)
+		}
+		// A fractional scale recommends the frequency whose dynamic power is
+		// scale × the *uncapped* dynamic power — verified through GPUPower.
+		const scale = 0.5
+		frac := TargetFreqFrac(&spec, curCap, perGPUW, scale)
+		wantDyn := (GPUPower(&spec, util, 1) - spec.GPUIdleW) * scale
+		gotDyn := GPUPower(&spec, util, frac) - spec.GPUIdleW
+		if math.Abs(gotDyn-wantDyn) > 1e-9 {
+			t.Errorf("cap %v: dynamic power %v, want %v", curCap, gotDyn, wantDyn)
+		}
+	}
+	// Idle GPUs recommend uncapped: frequency cannot shed idle draw.
+	if got := TargetFreqFrac(&spec, 1, spec.GPUIdleW, 0.1); got != 1 {
+		t.Errorf("idle GPU target %v, want 1", got)
+	}
+}
+
+func TestStepTowardIsGradualAndClamped(t *testing.T) {
+	if got := StepToward(1, 0.5, 0.4, 0.3); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("step = %v, want 0.8", got)
+	}
+	if got := StepToward(0.4, 0, 1, 0.3); got != 0.3 {
+		t.Errorf("floor clamp = %v, want 0.3", got)
+	}
+	if got := StepToward(0.9, 2, 1, 0.3); got != 1 {
+		t.Errorf("ceiling clamp = %v, want 1", got)
+	}
+}

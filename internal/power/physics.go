@@ -14,10 +14,14 @@ import (
 	"github.com/tapas-sim/tapas/internal/units"
 )
 
-// dvfsExponent models GPU dynamic power versus clock frequency. DVFS scales
+// DVFSExponent models GPU dynamic power versus clock frequency. DVFS scales
 // voltage with frequency, so dynamic power grows superlinearly; 2.5 sits
-// between the pure-f³ ideal and the static floor seen on real parts.
-const dvfsExponent = 2.5
+// between the pure-f³ ideal and the static floor seen on real parts. It is
+// the single source of truth for the exponent: the simulator's capped-power
+// scaling and every capping inversion (core.TAPAS.selectiveCap, the PowerGov
+// controller) must use it rather than re-deriving the literal, so the
+// forward physics and the inversions can never drift apart.
+const DVFSExponent = 2.5
 
 // GPUPower returns the ground-truth power of one GPU at a utilization in
 // [0,1] and a frequency fraction (freq / max freq) in (0,1].
@@ -29,7 +33,7 @@ func GPUPower(spec *layout.GPUSpec, util, freqFrac float64) float64 {
 	// for bit.
 	scale := 1.0
 	if freqFrac != 1 {
-		scale = math.Pow(freqFrac, dvfsExponent)
+		scale = math.Pow(freqFrac, DVFSExponent)
 	}
 	dynamic := (spec.GPUTDPW - spec.GPUIdleW) * util * scale
 	return spec.GPUIdleW + dynamic
@@ -61,18 +65,23 @@ func ServerPowerAtUniformLoad(spec *layout.GPUSpec, util float64) float64 {
 
 // FreqFracForPower inverts GPUPower: the frequency fraction at which a GPU
 // running at util draws at most targetW. Returns the minimum frequency
-// fraction if even that is too much. Used by power capping.
+// fraction if even that is too much — including a zero-util GPU whose idle
+// draw already exceeds the target, where no frequency state can help but the
+// floor is still the honest recommendation. Used by power capping.
 func FreqFracForPower(spec *layout.GPUSpec, util, targetW float64) float64 {
 	minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
 	util = units.Clamp01(util)
 	if util == 0 {
+		if targetW < spec.GPUIdleW {
+			return minFrac
+		}
 		return 1
 	}
 	dynBudget := targetW - spec.GPUIdleW
 	if dynBudget <= 0 {
 		return minFrac
 	}
-	frac := math.Pow(dynBudget/((spec.GPUTDPW-spec.GPUIdleW)*util), 1/dvfsExponent)
+	frac := math.Pow(dynBudget/((spec.GPUTDPW-spec.GPUIdleW)*util), 1/DVFSExponent)
 	return units.Clamp(frac, minFrac, 1)
 }
 

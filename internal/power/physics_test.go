@@ -108,6 +108,46 @@ func TestFreqFracForPowerInverts(t *testing.T) {
 	}
 }
 
+func TestFreqFracForPowerIdleOverBudget(t *testing.T) {
+	// A zero-util GPU can still be over an idle-power budget; the honest
+	// recommendation is the hardware floor, not "no cap".
+	for _, m := range []layout.GPUModel{layout.A100, layout.H100} {
+		spec := layout.Spec(m)
+		minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
+		if got := FreqFracForPower(&spec, 0, spec.GPUIdleW-1); got != minFrac {
+			t.Errorf("%v: idle GPU over idle budget frac = %v, want min %v", m, got, minFrac)
+		}
+		// At or above idle draw there is nothing frequency can shed.
+		if got := FreqFracForPower(&spec, 0, spec.GPUIdleW); got != 1 {
+			t.Errorf("%v: idle GPU at idle budget frac = %v, want 1", m, got)
+		}
+	}
+}
+
+// TestCappingInversionRoundTrip pins that the capping inversion and the
+// forward physics share one DVFS exponent: for any achievable target,
+// GPUPower at the inverted frequency reproduces the target within 1e-9.
+// This is the regression wall against the exponent reappearing as a drifting
+// literal in a capping path.
+func TestCappingInversionRoundTrip(t *testing.T) {
+	for _, m := range []layout.GPUModel{layout.A100, layout.H100} {
+		spec := layout.Spec(m)
+		minFrac := spec.MinFreqGHz / spec.MaxFreqGHz
+		for _, util := range []float64{0.05, 0.25, 0.5, 0.75, 1} {
+			lo := GPUPower(&spec, util, minFrac)
+			hi := GPUPower(&spec, util, 1)
+			for _, a := range []float64{0, 0.2, 0.5, 0.8, 1} {
+				target := lo + a*(hi-lo)
+				frac := FreqFracForPower(&spec, util, target)
+				if got := GPUPower(&spec, util, frac); math.Abs(got-target) > 1e-9 {
+					t.Errorf("%v util %v target %v: round-trip power %v (|Δ|=%g)",
+						m, util, target, got, math.Abs(got-target))
+				}
+			}
+		}
+	}
+}
+
 func TestFitModelRecoversServerPower(t *testing.T) {
 	spec := layout.Spec(layout.A100)
 	rng := rand.New(rand.NewPCG(4, 4))

@@ -20,8 +20,10 @@ type Policy struct {
 
 // ParsePolicy maps a spec policy string to a constructor: "baseline",
 // "tapas", "slo" (deadline-aware admission on top of full TAPAS), "slo-edf"
-// (admission plus earliest-deadline-first queues), or a comma list of TAPAS
-// levers ("place", "route", "config").
+// (admission plus earliest-deadline-first queues), "powergov" (closed-loop
+// per-endpoint power governing on top of full TAPAS), "powergov-energy"
+// (governing plus generation-efficiency-weighted request routing), or a
+// comma list of TAPAS levers ("place", "route", "config").
 func ParsePolicy(s string) (Policy, error) {
 	var opts core.Options
 	switch strings.ToLower(strings.TrimSpace(s)) {
@@ -32,6 +34,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return Policy{Name: core.NewSLO(false).Name(), New: func() sim.Policy { return core.NewSLO(false) }}, nil
 	case "slo-edf":
 		return Policy{Name: core.NewSLO(true).Name(), New: func() sim.Policy { return core.NewSLO(true) }}, nil
+	case "powergov":
+		return Policy{Name: core.NewPowerGov(false).Name(), New: func() sim.Policy { return core.NewPowerGov(false) }}, nil
+	case "powergov-energy":
+		return Policy{Name: core.NewPowerGov(true).Name(), New: func() sim.Policy { return core.NewPowerGov(true) }}, nil
 	default:
 		for _, part := range strings.Split(s, ",") {
 			switch strings.ToLower(strings.TrimSpace(part)) {
@@ -42,7 +48,7 @@ func ParsePolicy(s string) (Policy, error) {
 			case "config":
 				opts.Config = true
 			default:
-				return Policy{}, fmt.Errorf("unknown policy %q (want baseline, tapas, slo, slo-edf, or a comma list of place/route/config)", s)
+				return Policy{}, fmt.Errorf("unknown policy %q (want baseline, tapas, slo, slo-edf, powergov, powergov-energy, or a comma list of place/route/config)", s)
 			}
 		}
 	}

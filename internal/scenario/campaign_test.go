@@ -72,7 +72,7 @@ func TestFig20SpecMatchesExperimentGolden(t *testing.T) {
 // the hard-coded runners cannot express) byte-for-byte, so spec files and
 // report rendering cannot rot silently.
 func TestCampaignGoldenReports(t *testing.T) {
-	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies", "replay-pinned", "replay-scaled", "slo-replay", "slo-policies"} {
+	for _, name := range []string{"hetero-fleet", "heatwave-sweep", "rolling-emergencies", "replay-pinned", "replay-scaled", "slo-replay", "slo-policies", "power-loop"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			got := runCampaign(t, loadExample(t, name+".json"), 0)
@@ -107,7 +107,9 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 	// output at any worker count).
 	// slo-policies adds admission shedding and EDF queues on top; shedding
 	// decisions must be deterministic across the pool too.
-	for _, name := range []string{"heatwave-sweep", "replay-pinned", "replay-scaled", "slo-replay", "slo-policies"} {
+	// power-loop adds closed-loop per-endpoint capping, energy integration,
+	// and energy-aware routing on a heterogeneous fleet.
+	for _, name := range []string{"heatwave-sweep", "replay-pinned", "replay-scaled", "slo-replay", "slo-policies", "power-loop"} {
 		s := loadExample(t, name+".json")
 		seq := runCampaign(t, s, 1)
 		par := runCampaign(t, s, 8)
@@ -124,7 +126,7 @@ func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
 // slo-policies additionally covers admission shedding and EDF queue order
 // under sharding.
 func TestSLOReplayReportShardInvariant(t *testing.T) {
-	for _, name := range []string{"slo-replay", "slo-policies"} {
+	for _, name := range []string{"slo-replay", "slo-policies", "power-loop"} {
 		base := runCampaign(t, loadExample(t, name+".json"), 1)
 		for _, shards := range []int{2, 7, -1} {
 			shards := shards

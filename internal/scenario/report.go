@@ -59,13 +59,16 @@ var metrics = []Metric{
 		func(r *sim.Result, _ Prov) float64 { return r.IaaSPerfLoss() * 100 }},
 	{"placement_rejects", "placement rejections", "%.0f",
 		func(r *sim.Result, _ Prov) float64 { return float64(r.PlacementRejects) }},
+	{"cap_events", "server-ticks under an applied frequency cap", "%.0f",
+		func(r *sim.Result, _ Prov) float64 { return float64(r.CapEvents()) }},
 }
 
-// sloMetric is one request-level replay column. These metrics are populated
-// only when the scenario carries a request log (workload.requests); in binned
-// mode every completion count is zero and they evaluate to 0. Each is
-// addressable in aggregate form ("ttft_p99_ms", over every endpoint) or per
-// endpoint with an "@ep<N>" suffix ("ttft_p99_ms@ep0").
+// sloMetric is one per-endpoint column. The latency/attainment metrics are
+// populated only when the scenario carries a request log (workload.requests);
+// in binned mode every completion count is zero and they evaluate to 0.
+// energy_per_token_j is populated in both modes. Each is addressable in
+// aggregate form ("ttft_p99_ms", over every endpoint) or per endpoint with
+// an "@ep<N>" suffix ("ttft_p99_ms@ep0").
 type sloMetric struct {
 	ID   string
 	Desc string
@@ -95,6 +98,8 @@ var sloMetrics = []sloMetric{
 		func(r *sim.Result, ep int) float64 { return float64(r.RequestsAdmitted(ep)) }},
 	{"requests_shed", "requests rejected at admission", "%.0f",
 		func(r *sim.Result, ep int) float64 { return float64(r.RequestsShed(ep)) }},
+	{"energy_per_token_j", "serving energy per served token (J)", "%.2f",
+		func(r *sim.Result, ep int) float64 { return r.EnergyPerTokenJ(ep) }},
 }
 
 // formatMetric renders one metric value for text reports. NaN means "no

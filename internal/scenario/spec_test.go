@@ -232,16 +232,66 @@ func TestSLOSchedAxes(t *testing.T) {
 	}
 }
 
+// TestPowerGovAxes pins the governor sweep axes: both controller knobs apply
+// to the scenario's PowerGov, and out-of-range values are rejected.
+func TestPowerGovAxes(t *testing.T) {
+	s, err := Parse([]byte(`{
+		"name": "x",
+		"layout": {"preset": "small"},
+		"axes": [
+			{"param": "powergov.budget_frac", "values": [0.6, 0.9]},
+			{"param": "powergov.gain", "values": [0.2, 0.5]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.baseScenario(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := s.expand(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expanded %d points, want 4", len(points))
+	}
+	got := points[1].Scenario.PowerGov
+	if got.BudgetFrac != 0.6 || got.Gain != 0.5 {
+		t.Errorf("point 1 PowerGov = %+v, want {0.6 0.5}", got)
+	}
+	if base.PowerGov != (sim.PowerGov{}) {
+		t.Error("base scenario mutated")
+	}
+	for _, bad := range []string{
+		`{"name":"x","axes":[{"param":"powergov.budget_frac","values":[0]}]}`,
+		`{"name":"x","axes":[{"param":"powergov.budget_frac","values":[1.5]}]}`,
+		`{"name":"x","axes":[{"param":"powergov.gain","values":[-1]}]}`,
+		`{"name":"x","axes":[{"param":"powergov.gain","values":[1.1]}]}`,
+	} {
+		s, err := Parse([]byte(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Campaign(0); err == nil {
+			t.Errorf("out-of-range axis accepted: %s", bad)
+		}
+	}
+}
+
 // TestParsePolicy pins the policy name surface.
 func TestParsePolicy(t *testing.T) {
 	for in, want := range map[string]string{
-		"baseline":     "Baseline",
-		"tapas":        "TAPAS",
-		"slo":          "SLO-Admit",
-		"slo-edf":      "SLO-EDF",
-		"place":        "Place",
-		"place,config": "Place+Config",
-		"place, route": "Place+Route",
+		"baseline":        "Baseline",
+		"tapas":           "TAPAS",
+		"slo":             "SLO-Admit",
+		"slo-edf":         "SLO-EDF",
+		"powergov":        "PowerGov",
+		"powergov-energy": "PowerGov-Energy",
+		"place":           "Place",
+		"place,config":    "Place+Config",
+		"place, route":    "Place+Route",
 	} {
 		p, err := ParsePolicy(in)
 		if err != nil {

@@ -95,6 +95,28 @@ var axisSetters = map[string]func(*sim.Scenario, AxisValue) error{
 		sc.SLOSched.AdmissionSlack = f
 		return nil
 	},
+	"powergov.budget_frac": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("powergov.budget_frac")
+		if err != nil {
+			return err
+		}
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("powergov.budget_frac %v out of (0,1]", f)
+		}
+		sc.PowerGov.BudgetFrac = f
+		return nil
+	},
+	"powergov.gain": func(sc *sim.Scenario, v AxisValue) error {
+		f, err := v.number("powergov.gain")
+		if err != nil {
+			return err
+		}
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("powergov.gain %v out of (0,1]", f)
+		}
+		sc.PowerGov.Gain = f
+		return nil
+	},
 	"workload.occupancy": func(sc *sim.Scenario, v AxisValue) error {
 		f, err := v.number("workload.occupancy")
 		if err != nil {

@@ -456,6 +456,8 @@ func (cs *CompiledScenario) checkRuntimeOnly() error {
 		return fmt.Errorf("sim: variant changed Requests; recompile the scenario")
 	case cur.SLOSched != base.SLOSched:
 		return fmt.Errorf("sim: variant changed SLOSched; recompile the scenario")
+	case cur.PowerGov != base.PowerGov:
+		return fmt.Errorf("sim: variant changed PowerGov; recompile the scenario")
 	case cur.Region != base.Region:
 		return fmt.Errorf("sim: variant changed Region; recompile the scenario")
 	case cur.StartOffset != base.StartOffset:

@@ -14,9 +14,10 @@ import (
 	"github.com/tapas-sim/tapas/internal/units"
 )
 
-// dynPowerExp matches the DVFS exponent of the power physics; used to
-// convert power-scale factors into frequency-scale factors.
-const dynPowerExp = 2.5
+// dynPowerExp is the DVFS exponent of the power physics; aliasing the
+// exported constant keeps the kernel's capped-power scaling and every
+// capping inversion on one source of truth.
+const dynPowerExp = power.DVFSExponent
 
 // capRecovery is the per-tick multiplicative recovery of frequency caps once
 // the pressure that caused them subsides.
@@ -241,6 +242,13 @@ func (r *runner) run() (*Result, error) {
 	if tun, ok := r.pol.(SLOTunable); ok {
 		tun.TuneSLO(r.sc.SLOSched.AffinityWeight, r.sc.SLOSched.AdmissionSlack)
 	}
+	if tun, ok := r.pol.(PowerGovTunable); ok {
+		tun.TunePowerGov(r.sc.PowerGov.BudgetFrac, r.sc.PowerGov.Gain)
+	}
+	// Per-endpoint energy/token accounting is sized up front: every SaaS VM
+	// spec references a workload endpoint, so the slices never grow mid-run.
+	r.res.EndpointEnergyJ = make([]float64, len(st.Work.Endpoints))
+	r.res.EndpointServedTokens = make([]float64, len(st.Work.Endpoints))
 
 	for ti := 0; ti < ticks; ti++ {
 		now := time.Duration(ti+1) * r.sc.Tick
@@ -607,6 +615,9 @@ func (r *runner) fleetStep(wall time.Duration) {
 	for id, p := range st.ServerPowerW {
 		st.RowPowerW[srvRow[id]] += p
 		total += p
+		if st.ServerFreqCap[id] < 1 {
+			r.res.FreqCapSrvTicks++
+		}
 		if cl := r.srvCapLoss[id]; cl >= 0 {
 			r.srvCapLoss[id] = -1
 			r.res.IaaSFreqCapSum += cl
@@ -614,6 +625,18 @@ func (r *runner) fleetStep(wall time.Duration) {
 			vm := st.VMs[st.ServerVM[id]]
 			st.ObserveCustomerLoad(vm.Spec.Customer, st.ServerLoadFrac[id])
 		}
+	}
+	// Per-endpoint energy: integrate the full power of every server hosting
+	// an endpoint's instances over the tick. Runs in the serial phase so the
+	// per-endpoint float accumulation is in fixed (endpoint, ascending VM-ID)
+	// order — byte-identical at any shard count, like the reductions above.
+	tickSecs := r.sc.Tick.Seconds()
+	for ep := range r.res.EndpointEnergyJ {
+		sum := 0.0
+		for _, vm := range st.EndpointInstances(ep) {
+			sum += st.ServerPowerW[vm.Server]
+		}
+		r.res.EndpointEnergyJ[ep] += sum * tickSecs
 	}
 
 	r.res.ServerTicks += n
@@ -926,6 +949,9 @@ func (r *runner) idleServer(id int, inletBase float64, aisle int) float64 {
 func (r *runner) harvest(vm *cluster.VM) {
 	in := vm.Instance
 	r.res.SaaSServedTokens += in.ServedTokens
+	if ep := vm.Spec.Endpoint; ep >= 0 && ep < len(r.res.EndpointServedTokens) {
+		r.res.EndpointServedTokens[ep] += in.ServedTokens
+	}
 	r.res.SaaSCompletedReqs += in.CompletedRequests
 	r.res.SaaSViolatedReqs += in.SLOViolatedReqs
 	r.res.SaaSQualityWeight += in.QualityWeight

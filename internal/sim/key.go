@@ -52,6 +52,7 @@ func scenarioKey(sc Scenario, memo *fingerprintMemo) (CacheKey, error) {
 	h.dur(sc.Duration)
 	h.dur(sc.StartOffset)
 	h.hashSLOSched(sc.SLOSched)
+	h.hashPowerGov(sc.PowerGov)
 	return h.sum(), nil
 }
 
@@ -65,6 +66,18 @@ func (k *keyHasher) hashSLOSched(s SLOSched) {
 	k.str("slosched")
 	k.f64(s.AffinityWeight)
 	k.f64(s.AdmissionSlack)
+}
+
+// hashPowerGov folds the power-governor parameters into the key with the
+// same zero-value rule as hashSLOSched: scenarios that never touch PowerGov
+// keep their pre-existing keys byte for byte.
+func (k *keyHasher) hashPowerGov(p PowerGov) {
+	if p == (PowerGov{}) {
+		return
+	}
+	k.str("powergov")
+	k.f64(p.BudgetFrac)
+	k.f64(p.Gain)
 }
 
 // layoutKey hashes what buildLayoutArtifacts consumes: the layout config and

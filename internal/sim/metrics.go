@@ -23,9 +23,16 @@ type Result struct {
 	// Event accounting in server-ticks. A server-tick is thermally capped
 	// when its GPUs hardware-throttle or its aisle out-draws the AHUs;
 	// power-capped when its row exceeds the effective power limit.
+	// FreqCapSrvTicks counts server-ticks that ran under an *applied*
+	// frequency cap (ServerFreqCap < 1 after the tick's recovery step),
+	// whichever policy path set it — so unlike PowerCapSrvTicks, which
+	// counts row-limit violations, it measures actual capping interventions
+	// and distinguishes a governor that caps gently and early from one that
+	// slams on violations.
 	ServerTicks             int
 	ThermalThrottleSrvTicks int
 	PowerCapSrvTicks        int
+	FreqCapSrvTicks         int
 	PlacementRejects        int
 
 	// SaaS service quality.
@@ -38,6 +45,16 @@ type Result struct {
 	// IaaS impact.
 	IaaSFreqCapSum  float64 // Σ (1 − freqCap) over IaaS server-ticks
 	IaaSServerTicks int
+
+	// Per-endpoint energy accounting, sized to the workload's endpoints by
+	// the engine and populated in both binned and request-level modes.
+	// EndpointEnergyJ integrates the full power of every server hosting an
+	// endpoint's instances over each tick (accumulated serially in the tick
+	// kernel, so values are byte-identical at any shard count);
+	// EndpointServedTokens attributes served tokens per endpoint in the
+	// engine's deterministic harvest order.
+	EndpointEnergyJ      []float64
+	EndpointServedTokens []float64
 
 	// Request-level replay SLO accounting, populated only when the scenario
 	// carries a request log (Scenario.Requests). Outer slices are indexed by
@@ -257,6 +274,35 @@ func (r *Result) RequestsShed(ep int) int { return sumCount(r.ReqShed, ep) }
 // RequestEndpoints returns how many endpoint slots the request-level
 // accounting covers (0 in binned mode).
 func (r *Result) RequestEndpoints() int { return len(r.ReqCompleted) }
+
+// EnergyPerTokenJ returns an endpoint's serving energy per served token in
+// joules: the power of every server hosting its instances integrated over
+// the run, divided by the tokens it served (AllEndpoints aggregates both
+// sums first). An endpoint that served nothing yields NaN — "no data",
+// rendered blank/null by reports — so idle endpoints are distinguishable
+// from impossibly efficient ones.
+func (r *Result) EnergyPerTokenJ(ep int) float64 {
+	var energy, tokens float64
+	if ep >= 0 {
+		if ep >= len(r.EndpointEnergyJ) {
+			return math.NaN()
+		}
+		energy, tokens = r.EndpointEnergyJ[ep], r.EndpointServedTokens[ep]
+	} else {
+		for i := range r.EndpointEnergyJ {
+			energy += r.EndpointEnergyJ[i]
+			tokens += r.EndpointServedTokens[i]
+		}
+	}
+	if tokens == 0 {
+		return math.NaN()
+	}
+	return energy / tokens
+}
+
+// CapEvents returns the number of server-ticks spent under an applied
+// frequency cap (see FreqCapSrvTicks).
+func (r *Result) CapEvents() int { return r.FreqCapSrvTicks }
 
 func sumCount(counts []int, ep int) int {
 	if ep >= 0 {

@@ -78,6 +78,32 @@ type SLOTunable interface {
 	TuneSLO(affinityWeight, admissionSlack float64)
 }
 
+// PowerGovTunable is an optional Policy extension for closed-loop power
+// governors (core.PowerGov). The engine calls TunePowerGov once per run,
+// before the first tick, with the scenario's PowerGov values; zero values
+// mean "keep the policy's default".
+type PowerGovTunable interface {
+	TunePowerGov(budgetFrac, gain float64)
+}
+
+// PowerGov parameterizes closed-loop power-capping policies (core.PowerGov).
+// The zero value leaves policy defaults untouched. Compile-relevant: both
+// fields enter the scenario cache key (when non-zero) because they change
+// frequency states and therefore every downstream metric — and like SLOSched
+// the zero value contributes nothing, keeping pre-existing keys byte-stable.
+type PowerGov struct {
+	// BudgetFrac is each endpoint's power budget as a fraction of the
+	// aggregate server TDP of its placed instances. Policy default 0.8
+	// (power.DefaultBudgetFrac). Swept via the powergov.budget_frac axis.
+	BudgetFrac float64
+	// Gain is the controller's per-tick correction gain in (0, 1]: the
+	// fraction of the normalized budget error folded into the recommended
+	// power scale, and the tuner's per-tick step toward the recommended
+	// frequency. Policy default 0.35 (power.DefaultGain). Swept via the
+	// powergov.gain axis.
+	Gain float64
+}
+
 // SLOSched parameterizes SLO-aware scheduling policies (core.SLO). The
 // zero value leaves policy defaults untouched. Compile-relevant: both
 // fields enter the scenario cache key (when non-zero) because they change
@@ -159,6 +185,10 @@ type Scenario struct {
 	// the zero value keeps policy defaults. Swept via the
 	// slo.affinity_weight and slo.admission_slack campaign axes.
 	SLOSched SLOSched
+	// PowerGov tunes closed-loop power-capping policies (core.PowerGov);
+	// the zero value keeps policy defaults. Swept via the
+	// powergov.budget_frac and powergov.gain campaign axes.
+	PowerGov PowerGov
 	Region   trace.Region
 	Duration time.Duration
 	Tick     time.Duration

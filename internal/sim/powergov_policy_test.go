@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tapas-sim/tapas/internal/core"
+)
+
+// Compile-time checks that the power-governing policy family plugs into every
+// optional engine surface it is designed for.
+var (
+	_ Policy          = (*core.PowerGov)(nil)
+	_ RequestRouter   = (*core.PowerGov)(nil)
+	_ PowerGovTunable = (*core.PowerGov)(nil)
+)
+
+// TestPowerGovCacheKey pins the keying contract for the governor knobs: the
+// zero value keys identically to the pre-PowerGov encoding (existing cache
+// entries stay valid), while each non-zero knob — and each distinct value —
+// changes the key.
+func TestPowerGovCacheKey(t *testing.T) {
+	reqs := syntheticRequests(50, 2, 5*time.Minute)
+	base := requestScenario(reqs)
+	k0, err := ScenarioKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := requestScenario(reqs)
+	zero.PowerGov = PowerGov{}
+	if k, _ := ScenarioKey(zero); k != k0 {
+		t.Error("zero PowerGov changed the scenario key")
+	}
+	budgeted := requestScenario(reqs)
+	budgeted.PowerGov = PowerGov{BudgetFrac: 0.7}
+	kb, err := ScenarioKey(budgeted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kb == k0 {
+		t.Error("budget fraction not folded into the scenario key")
+	}
+	gained := requestScenario(reqs)
+	gained.PowerGov = PowerGov{Gain: 0.5}
+	kg, err := ScenarioKey(gained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg == k0 || kg == kb {
+		t.Error("gain not distinguished in the scenario key")
+	}
+}
+
+// TestVariantRejectsPowerGovChange pins that PowerGov is compile-relevant: a
+// variant changing it must be rejected instead of silently reusing artifacts
+// keyed under other parameters.
+func TestVariantRejectsPowerGovChange(t *testing.T) {
+	cs, err := Compile(requestScenario(syntheticRequests(50, 2, 5*time.Minute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := cs.Variant(func(s *Scenario) { s.PowerGov.BudgetFrac = 0.5 })
+	if _, err := v.Run(core.NewPowerGov(false)); err == nil {
+		t.Fatal("variant changing PowerGov ran without recompiling")
+	}
+}
+
+// TestPowerGovTuningChangesBehavior pins the TunePowerGov plumbing end to
+// end: a tight budget must put servers under an applied frequency cap for
+// more server-ticks than a budget at the full TDP envelope, on the same
+// request log.
+func TestPowerGovTuningChangesBehavior(t *testing.T) {
+	reqs := overloadedRequests(t, 4)
+	capTicksAt := func(budgetFrac float64) int {
+		sc := requestScenario(reqs)
+		sc.PowerGov.BudgetFrac = budgetFrac
+		res, err := Run(sc, core.NewPowerGov(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FreqCapSrvTicks
+	}
+	tight, generous := capTicksAt(0.3), capTicksAt(1)
+	if tight == 0 {
+		t.Error("budget at 30% of TDP applied no frequency caps at 4x overload")
+	}
+	if tight <= generous {
+		t.Errorf("budget 0.3 capped %d server-ticks, not more than budget 1.0's %d", tight, generous)
+	}
+}
+
+// TestPowerGovEnergyAccounting pins the per-endpoint energy integration: a
+// run that serves tokens reports positive, finite energy per token for every
+// active endpoint and in aggregate.
+func TestPowerGovEnergyAccounting(t *testing.T) {
+	reqs := overloadedRequests(t, 2)
+	res, err := Run(requestScenario(reqs), core.NewPowerGov(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestsCompleted(AllEndpoints) == 0 {
+		t.Fatal("request mode inactive: no completions to account energy against")
+	}
+	j := res.EnergyPerTokenJ(AllEndpoints)
+	if !(j > 0) || math.IsInf(j, 0) {
+		t.Errorf("aggregate energy per token = %v, want positive and finite", j)
+	}
+	for ep := range res.EndpointEnergyJ {
+		if res.EndpointEnergyJ[ep] <= 0 {
+			t.Errorf("endpoint %d integrated %.1f J, want positive", ep, res.EndpointEnergyJ[ep])
+		}
+	}
+}
+
+// TestPowerGovShardsByteIdentical extends the shard-determinism property to
+// the governor loop and the energy-aware router: tuned caps, integrated
+// energy, and routing decisions must be bit-identical at every shard count.
+func TestPowerGovShardsByteIdentical(t *testing.T) {
+	cs, err := Compile(requestScenario(overloadedRequests(t, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []struct {
+		name string
+		new  func() Policy
+	}{
+		{"powergov", func() Policy { return core.NewPowerGov(false) }},
+		{"powergov-energy", func() Policy { return core.NewPowerGov(true) }},
+	} {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			serial, err := cs.Variant(func(s *Scenario) { s.Shards = 1 }).Run(pol.new())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.RequestsCompleted(AllEndpoints) == 0 {
+				t.Fatal("request mode inactive: no completions to compare")
+			}
+			for _, n := range []int{2, 7, -1} {
+				res, err := cs.Variant(func(s *Scenario) { s.Shards = n }).Run(pol.new())
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				if !reflect.DeepEqual(serial, res) {
+					t.Errorf("shards=%d diverged from the serial engine", n)
+				}
+			}
+		})
+	}
+}
